@@ -1,0 +1,53 @@
+// Command prete-sim runs the paper's evaluation experiments. Every table
+// and figure of the paper maps to an experiment id (see DESIGN.md §4):
+//
+//	prete-sim -list
+//	prete-sim -exp fig13
+//	prete-sim -exp tab5 -seed 7
+//	prete-sim -all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prete/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (see -list)")
+		seed  = flag.Uint64("seed", 2025, "random seed")
+		quick = flag.Bool("quick", false, "reduced fidelity for fast runs")
+		list  = flag.Bool("list", false, "list available experiments")
+		all   = flag.Bool("all", false, "run every experiment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	switch {
+	case *all:
+		for _, id := range experiments.IDs() {
+			if err := experiments.Run(id, os.Stdout, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "prete-sim: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	case *exp != "":
+		if err := experiments.Run(*exp, os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "prete-sim: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "prete-sim: pass -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+}

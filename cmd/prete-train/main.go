@@ -1,0 +1,71 @@
+// Command prete-train generates a synthetic production trace, trains the
+// Table 5 model zoo (NN, decision tree, statistic model), and reports
+// prediction accuracy:
+//
+//	prete-train -days 365 -epochs 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prete/internal/ml"
+	"prete/internal/topology"
+	"prete/internal/trace"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 2025, "random seed")
+		days   = flag.Int("days", 365, "trace horizon in days")
+		epochs = flag.Int("epochs", 30, "NN training epochs")
+	)
+	flag.Parse()
+
+	net, err := topology.TWAN(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := trace.DefaultConfig(*seed)
+	cfg.Days = *days
+	tr, err := trace.Generate(cfg, net)
+	if err != nil {
+		fatal(err)
+	}
+	c := tr.Counts()
+	fmt.Printf("trace: %d degradations, %d cuts (alpha=%.2f, P(cut|deg)=%.2f)\n",
+		c.Degradations, c.Cuts, c.Alpha(), c.PCutGivenDeg())
+
+	train, test, err := tr.Split(0.8)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("split: %d train / %d test episodes\n\n", len(train), len(test))
+
+	nnCfg := ml.DefaultNNConfig(*seed)
+	nnCfg.Epochs = *epochs
+	nn, err := ml.TrainNN(train, nnCfg)
+	if err != nil {
+		fatal(err)
+	}
+	dt, err := ml.TrainDT(train, ml.DefaultDTConfig())
+	if err != nil {
+		fatal(err)
+	}
+	st, err := ml.TrainStatistic(train)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("model      P     R     F1    Acc   (Table 5)")
+	for _, p := range []ml.Predictor{ml.NaiveTeaVar{PI: 0.003}, st, dt, nn} {
+		cm := ml.Evaluate(p, test)
+		fmt.Printf("%-9s  %.2f  %.2f  %.2f  %.2f\n", p.Name(), cm.Precision(), cm.Recall(), cm.F1(), cm.Accuracy())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "prete-train: %v\n", err)
+	os.Exit(1)
+}

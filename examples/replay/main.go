@@ -1,0 +1,68 @@
+// The replay example drives the whole system over a synthetic multi-month
+// optical event timeline: degradation episodes raise signals, a trained
+// predictor scores them, PreTE plans each event epoch, and the trace's
+// actual fiber cuts determine delivered traffic. The same timeline is then
+// replayed under a static-probability (TeaVaR-style) planner for
+// comparison.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"prete"
+	"prete/internal/ml"
+	"prete/internal/sim"
+	"prete/internal/topology"
+	"prete/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net, err := topology.B4()
+	if err != nil {
+		return err
+	}
+	cfg := trace.DefaultConfig(17)
+	cfg.Days = 180
+	tr, err := trace.Generate(cfg, net)
+	if err != nil {
+		return err
+	}
+	c := tr.Counts()
+	fmt.Printf("timeline: %d degradations, %d cuts over %d days\n",
+		c.Degradations, c.Cuts, cfg.Days)
+
+	train, _, err := tr.Split(0.8)
+	if err != nil {
+		return err
+	}
+	nnCfg := ml.DefaultNNConfig(17)
+	nnCfg.Epochs = 10
+	model, err := ml.TrainNN(train, nnCfg)
+	if err != nil {
+		return err
+	}
+	var _ prete.Predictor = model // the trained model is a drop-in Predictor
+
+	for _, scheme := range []string{"PreTE", "TeaVar"} {
+		rc := sim.DefaultReplayConfig(scheme)
+		rc.Predictor = model
+		rc.DemandGbps = 220
+		rc.MaxEventEpochs = 30
+		res, err := sim.Replay(tr, rc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-7s: %d event epochs, %d cut epochs, %d tunnels established, %d/%d flow-epochs lost (%.0f Gbps)\n",
+			res.Scheme, res.EventEpochs, res.CutEpochs, res.EstablishedTuns,
+			res.LostFlowEpochs, res.FlowEpochs, res.LostGbps)
+	}
+	return nil
+}

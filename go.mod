@@ -1,0 +1,3 @@
+module prete
+
+go 1.22

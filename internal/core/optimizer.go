@@ -1,0 +1,631 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"prete/internal/lp"
+	"prete/internal/routing"
+	"prete/internal/scenario"
+	"prete/internal/te"
+)
+
+// Class is a failure-equivalence class: the scenarios q under which flow f
+// has exactly the same surviving tunnel set T_{f,q} (union Y^s_{f,q}).
+// Merging scenarios into classes is exact — within a class the loss l_{f,q}
+// is identical for any allocation, and a master solution gains probability
+// mass at zero cost by selecting whole classes — and it shrinks the
+// subproblem by an order of magnitude.
+type Class struct {
+	Flow  routing.FlowID
+	Avail []routing.TunnelID // surviving tunnels, sorted
+	Prob  float64            // summed probability of the merged scenarios
+}
+
+// BuildClasses groups a scenario set into per-flow failure-equivalence
+// classes.
+func BuildClasses(ts *routing.TunnelSet, set *scenario.Set) []Class {
+	var out []Class
+	for _, fl := range ts.Flows {
+		tids := ts.TunnelsOf(fl.ID)
+		byKey := make(map[string]*Class)
+		var order []string
+		for _, sc := range set.Scenarios {
+			cut := sc.CutSet()
+			var avail []routing.TunnelID
+			for _, tid := range tids {
+				if ts.Tunnel(tid).AvailableUnder(cut) {
+					avail = append(avail, tid)
+				}
+			}
+			key := tunnelKey(avail)
+			c, ok := byKey[key]
+			if !ok {
+				c = &Class{Flow: fl.ID, Avail: avail}
+				byKey[key] = c
+				order = append(order, key)
+			}
+			c.Prob += sc.Prob
+		}
+		for _, k := range order {
+			out = append(out, *byKey[k])
+		}
+	}
+	return out
+}
+
+// classMinLoss lower-bounds a class's achievable loss from its surviving
+// tunnels' bottleneck capacities, ignoring contention with other flows
+// (hence a valid optimistic bound).
+func classMinLoss(in *te.Input, c Class) float64 {
+	d := in.Demands[c.Flow]
+	if d <= 0 {
+		return 0
+	}
+	var capSum float64
+	for _, tid := range c.Avail {
+		t := in.Tunnels.Tunnel(tid)
+		bottleneck := -1.0
+		for _, lid := range t.Links {
+			if cc := in.Net.Link(lid).Capacity; bottleneck < 0 || cc < bottleneck {
+				bottleneck = cc
+			}
+		}
+		if bottleneck > 0 {
+			capSum += bottleneck
+		}
+	}
+	if capSum >= d {
+		return 0
+	}
+	return 1 - capSum/d
+}
+
+func tunnelKey(tids []routing.TunnelID) string {
+	b := make([]byte, 0, len(tids)*3)
+	for _, t := range tids {
+		b = append(b, byte(t), byte(t>>8), ',')
+	}
+	return string(b)
+}
+
+// Optimizer solves the PreTE formulation (Eqns. 2-8) with Benders
+// decomposition (Algorithm 2).
+type Optimizer struct {
+	// Epsilon is the UB-LB convergence threshold (Algorithm 2's epsilon).
+	Epsilon float64
+	// MaxIters bounds Benders iterations.
+	MaxIters int
+	// MasterNodes bounds the master's branch-and-bound tree.
+	MasterNodes int
+	// DisableStructuralCuts turns off the bottleneck-capacity seeding cuts
+	// (ablation knob: without them, Benders prunes hopeless classes one
+	// iteration at a time).
+	DisableStructuralCuts bool
+	// DisablePolish skips the satisfaction-maximizing re-solve (ablation
+	// knob: allocations then stop at exactly (1-Phi)d per flow).
+	DisablePolish bool
+}
+
+// DefaultOptimizer returns production-ish settings.
+func DefaultOptimizer() *Optimizer {
+	return &Optimizer{Epsilon: 1e-4, MaxIters: 30, MasterNodes: 2000}
+}
+
+// Result is the optimization outcome.
+type Result struct {
+	Alloc      te.Allocation
+	Phi        float64 // the minimized maximum loss
+	Iterations int
+	LB, UB     float64
+	// Selected reports the final delta: class index -> selected.
+	Selected []bool
+}
+
+// Solve runs Algorithm 2 on the input. The scenario set's probabilities
+// must already be calibrated (Eqn. 1) by the caller.
+func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Scenarios == nil || len(in.Scenarios.Scenarios) == 0 {
+		return nil, fmt.Errorf("core: no failure scenarios")
+	}
+	classes := BuildClasses(in.Tunnels, in.Scenarios)
+	// Feasibility of constraint (5): every flow must be able to reach beta.
+	perFlowMass := make(map[routing.FlowID]float64)
+	for _, c := range classes {
+		perFlowMass[c.Flow] += c.Prob
+	}
+	for f, mass := range perFlowMass {
+		if mass < in.Beta-1e-12 {
+			return nil, fmt.Errorf("core: flow %d has only %.6f scenario mass for beta %.6f; widen the scenario cutoff", f, mass, in.Beta)
+		}
+	}
+
+	// Structural cuts Phi >= minLoss_c * delta_c: a class whose surviving
+	// tunnels have bottleneck capacity below the demand cannot be served
+	// regardless of the rest of the network, so the master learns upfront
+	// which classes force loss (in particular, disconnected classes force
+	// Phi = 1). These are valid optimality cuts — l_{f,c} >= minLoss_c
+	// holds for every allocation — and they spare Benders one iteration
+	// per hopeless class.
+	var cuts []bendersCut
+	if !o.DisableStructuralCuts {
+		for ci, c := range classes {
+			m := classMinLoss(in, c)
+			if m <= 0 {
+				continue
+			}
+			cut := bendersCut{coef: make([]float64, len(classes)), con: m}
+			cut.coef[ci] = m
+			cuts = append(cuts, cut)
+		}
+	}
+
+	// Algorithm 2, line 2: initialize delta = 1 for all (f, q) — then let
+	// the structural cuts immediately refine it when present.
+	delta := make([]bool, len(classes))
+	for i := range delta {
+		delta[i] = true
+	}
+	if len(cuts) > 0 {
+		d, _, err := o.solveMaster(in, classes, cuts)
+		if err == nil {
+			delta = d
+		}
+	}
+	lb, ub := 0.0, 1.0
+	var bestAlloc te.Allocation
+	var bestPhi float64
+	var bestDelta []bool
+	iters := 0
+	for ; iters < o.MaxIters; iters++ {
+		// Step 1: solve the subproblem with delta fixed.
+		sp, err := o.solveSubproblem(in, classes, delta)
+		if err != nil {
+			return nil, fmt.Errorf("core: subproblem iter %d: %w", iters, err)
+		}
+		if sp.phi <= ub {
+			ub = sp.phi
+			bestAlloc = sp.alloc
+			bestPhi = sp.phi
+			bestDelta = append(bestDelta[:0], delta...)
+		}
+		cuts = append(cuts, sp.cut)
+		if ub-lb <= o.Epsilon {
+			iters++
+			break
+		}
+		// Step 2: solve the master with the accumulated optimality cuts.
+		newDelta, masterPhi, err := o.solveMaster(in, classes, cuts)
+		if err != nil {
+			return nil, fmt.Errorf("core: master iter %d: %w", iters, err)
+		}
+		if masterPhi > lb {
+			lb = masterPhi
+		}
+		// Step 3: bound update and convergence check (line 5).
+		if ub-lb <= o.Epsilon {
+			iters++
+			break
+		}
+		delta = newDelta
+	}
+	if bestAlloc == nil {
+		return nil, fmt.Errorf("core: no feasible subproblem solution")
+	}
+	// Polish: with delta fixed at the incumbent, re-solve for the most
+	// satisfying allocation at (essentially) the optimal Phi — a bare
+	// min-Phi LP is content to stop at (1-Phi)d per flow, which would make
+	// downstream availability accounting degenerate.
+	if !o.DisablePolish {
+		if polished, err := o.polish(in, classes, bestDelta, bestPhi); err == nil {
+			bestAlloc = polished
+		}
+	}
+	return &Result{
+		Alloc: bestAlloc, Phi: bestPhi,
+		Iterations: iters, LB: lb, UB: ub, Selected: bestDelta,
+	}, nil
+}
+
+// polish maximizes total satisfied demand fraction subject to the
+// converged delta and loss bound.
+func (o *Optimizer) polish(in *te.Input, classes []Class, delta []bool, phiCap float64) (te.Allocation, error) {
+	prob := lp.NewProblem()
+	phi := prob.AddVar(0, "phi")
+	tunnelVar := make(map[routing.TunnelID]int, len(in.Tunnels.Tunnels))
+	for _, t := range in.Tunnels.Tunnels {
+		tunnelVar[t.ID] = prob.AddVar(0, fmt.Sprintf("a_t%d", t.ID))
+	}
+	linkTerms := make(map[int][]lp.Term)
+	for _, t := range in.Tunnels.Tunnels {
+		v := tunnelVar[t.ID]
+		for _, lid := range t.Links {
+			linkTerms[int(lid)] = append(linkTerms[int(lid)], lp.Term{Var: v, Coeff: 1})
+		}
+	}
+	linkIDs := make([]int, 0, len(linkTerms))
+	for lid := range linkTerms {
+		linkIDs = append(linkIDs, lid)
+	}
+	sort.Ints(linkIDs) // deterministic row order => deterministic vertex
+	for _, lid := range linkIDs {
+		if _, err := prob.AddConstraint(linkTerms[lid], lp.LE, in.Net.Links[lid].Capacity, "cap"); err != nil {
+			return nil, err
+		}
+	}
+	for ci, c := range classes {
+		if !delta[ci] {
+			continue
+		}
+		d := in.Demands[c.Flow]
+		if d <= 0 {
+			continue
+		}
+		terms := []lp.Term{{Var: phi, Coeff: d}}
+		for _, tid := range c.Avail {
+			terms = append(terms, lp.Term{Var: tunnelVar[tid], Coeff: 1})
+		}
+		if _, err := prob.AddConstraint(terms, lp.GE, d, "cov"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := prob.AddUpperBound(phi, phiCap+1e-7, "phi<=phi*"); err != nil {
+		return nil, err
+	}
+	// Secondary objective: maximize the probability-weighted satisfied
+	// fraction across ALL significant classes (selected or not) — i.e. the
+	// expected availability itself. Protection beyond the beta-selected
+	// classes is free whenever capacity allows, and a production TE system
+	// takes it; a plain per-flow satisfaction term would happily
+	// concentrate a flow onto one tunnel and die with its fiber.
+	const polishClassFloor = 1e-4 // skip classes too rare to move the objective
+	for ci, c := range classes {
+		d := in.Demands[c.Flow]
+		if d <= 0 || c.Prob < polishClassFloor || len(c.Avail) == 0 {
+			continue
+		}
+		s := prob.AddVar(-c.Prob, fmt.Sprintf("s_c%d", ci))
+		if _, err := prob.AddUpperBound(s, 1, "s<=1"); err != nil {
+			return nil, err
+		}
+		terms := []lp.Term{{Var: s, Coeff: d}}
+		for _, tid := range c.Avail {
+			terms = append(terms, lp.Term{Var: tunnelVar[tid], Coeff: -1})
+		}
+		if _, err := prob.AddConstraint(terms, lp.LE, 0, "sat"); err != nil {
+			return nil, err
+		}
+	}
+	sol := prob.Solve()
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("polish LP %v", sol.Status)
+	}
+	alloc := make(te.Allocation)
+	for tid, v := range tunnelVar {
+		if x := sol.X[v]; x > 1e-9 {
+			alloc[tid] = x
+		}
+	}
+	return alloc, nil
+}
+
+// bendersCut is an optimality cut Phi >= sum(coef_i * delta_i) + constant.
+type bendersCut struct {
+	coef  []float64 // per class; zero entries omitted implicitly
+	con   float64
+	value float64 // subproblem optimum that produced it (diagnostic)
+}
+
+type spSolution struct {
+	alloc te.Allocation
+	phi   float64
+	cut   bendersCut
+}
+
+// solveSubproblem solves the reduced SP (l variables eliminated — see
+// DESIGN.md) for a fixed delta and derives the Appendix A.4 optimality cut
+// from its duals: w_{f,c} = d_f * y_{f,c} reconstructs a dual-feasible point
+// of the full SP of Appendix A.5.
+func (o *Optimizer) solveSubproblem(in *te.Input, classes []Class, delta []bool) (*spSolution, error) {
+	prob := lp.NewProblem()
+	phi := prob.AddVar(1, "phi")
+	tunnelVar := make(map[routing.TunnelID]int, len(in.Tunnels.Tunnels))
+	for _, t := range in.Tunnels.Tunnels {
+		tunnelVar[t.ID] = prob.AddVar(0, fmt.Sprintf("a_t%d", t.ID))
+	}
+	// Constraint (3): link capacities over pre-established AND new tunnels.
+	type capRow struct {
+		row int
+		cap float64
+	}
+	var capRows []capRow
+	linkTerms := make(map[int][]lp.Term) // linkID -> terms
+	for _, t := range in.Tunnels.Tunnels {
+		v := tunnelVar[t.ID]
+		for _, lid := range t.Links {
+			linkTerms[int(lid)] = append(linkTerms[int(lid)], lp.Term{Var: v, Coeff: 1})
+		}
+	}
+	linkIDs := make([]int, 0, len(linkTerms))
+	for lid := range linkTerms {
+		linkIDs = append(linkIDs, lid)
+	}
+	sort.Ints(linkIDs)
+	for _, lid := range linkIDs {
+		c := in.Net.Links[lid].Capacity
+		row, err := prob.AddConstraint(linkTerms[lid], lp.LE, c, fmt.Sprintf("cap_e%d", lid))
+		if err != nil {
+			return nil, err
+		}
+		capRows = append(capRows, capRow{row: row, cap: c})
+	}
+	// Constraint (4) for selected classes: sum a + d*phi >= d.
+	type covRow struct {
+		class int
+		row   int
+	}
+	var covRows []covRow
+	for ci, c := range classes {
+		if !delta[ci] {
+			continue
+		}
+		d := in.Demands[c.Flow]
+		if d <= 0 {
+			continue
+		}
+		terms := []lp.Term{{Var: phi, Coeff: d}}
+		for _, tid := range c.Avail {
+			terms = append(terms, lp.Term{Var: tunnelVar[tid], Coeff: 1})
+		}
+		row, err := prob.AddConstraint(terms, lp.GE, d, fmt.Sprintf("cov_c%d", ci))
+		if err != nil {
+			return nil, err
+		}
+		covRows = append(covRows, covRow{class: ci, row: row})
+	}
+	if _, err := prob.AddUpperBound(phi, 1, "phi<=1"); err != nil {
+		return nil, err
+	}
+	sol := prob.Solve()
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("subproblem LP %v", sol.Status)
+	}
+	alloc := make(te.Allocation)
+	for tid, v := range tunnelVar {
+		if x := sol.X[v]; x > 1e-9 {
+			alloc[tid] = x
+		}
+	}
+	// Cut assembly: Phi >= sum_c w_c (delta_c - 1) + [sum_c w_c + sum_e c_e u_e']
+	// where w_c = d_f * y_c (y = coverage-row dual >= 0) and the capacity
+	// contribution is c_e * dual_e (dual_e <= 0 for LE rows).
+	cut := bendersCut{coef: make([]float64, len(classes)), value: sol.X[phi]}
+	for _, cr := range covRows {
+		y := sol.Duals[cr.row]
+		if y < 0 {
+			y = 0 // numerical guard; GE-row duals are nonnegative
+		}
+		w := in.Demands[classes[cr.class].Flow] * y
+		cut.coef[cr.class] = w
+		cut.con += w // from sum d_f v_{fc} with v = y
+	}
+	for _, cr := range capRows {
+		cut.con += cr.cap * sol.Duals[cr.row] // dual <= 0: subtracts capacity value
+	}
+	// The cut at the producing delta evaluates to sum w(1-1) + con = con,
+	// which must equal the SP optimum by strong duality.
+	return &spSolution{alloc: alloc, phi: sol.X[phi], cut: cut}, nil
+}
+
+// exactMasterLimit is the class count up to which the master is solved as
+// a true MIP; above it the LP relaxation provides the lower bound and a
+// greedy rounding the next delta ("the master problem which is related to a
+// small scale binary variable can be solved with slack variables",
+// Appendix A.4).
+const exactMasterLimit = 48
+
+// solveMaster solves the MP: min Phi s.t. all optimality cuts, the
+// availability constraint (5) per flow, delta binary. It returns the next
+// delta and a valid lower bound on the optimal Phi.
+func (o *Optimizer) solveMaster(in *te.Input, classes []Class, cuts []bendersCut) ([]bool, float64, error) {
+	exact := len(classes) <= exactMasterLimit
+	m := lp.NewMIP()
+	phi := m.AddVar(1, "phi")
+	deltaVars := make([]int, len(classes))
+	for i := range classes {
+		if exact {
+			deltaVars[i] = m.AddBinaryVar(0, fmt.Sprintf("delta_%d", i))
+		} else {
+			v := m.AddVar(0, fmt.Sprintf("delta_%d", i))
+			if _, err := m.AddUpperBound(v, 1, "delta<=1"); err != nil {
+				return nil, 0, err
+			}
+			deltaVars[i] = v
+		}
+	}
+	// Constraint (5): per flow, sum of selected class probabilities >= beta.
+	perFlow := make(map[routing.FlowID][]lp.Term)
+	for i, c := range classes {
+		perFlow[c.Flow] = append(perFlow[c.Flow], lp.Term{Var: deltaVars[i], Coeff: c.Prob})
+	}
+	flows := make([]routing.FlowID, 0, len(perFlow))
+	for f := range perFlow {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	for _, f := range flows {
+		if _, err := m.AddConstraint(perFlow[f], lp.GE, in.Beta, fmt.Sprintf("beta_f%d", f)); err != nil {
+			return nil, 0, err
+		}
+	}
+	// Optimality cuts: Phi - sum coef*delta >= con - sum coef.
+	for k, cut := range cuts {
+		terms := []lp.Term{{Var: phi, Coeff: 1}}
+		rhs := cut.con
+		for ci, w := range cut.coef {
+			if w == 0 {
+				continue
+			}
+			terms = append(terms, lp.Term{Var: deltaVars[ci], Coeff: -w})
+			rhs -= w
+		}
+		if _, err := m.AddConstraint(terms, lp.GE, rhs, fmt.Sprintf("cut_%d", k)); err != nil {
+			return nil, 0, err
+		}
+	}
+	if _, err := m.AddUpperBound(phi, 1, "phi<=1"); err != nil {
+		return nil, 0, err
+	}
+	if exact {
+		sol := m.SolveMIP(lp.MIPOptions{MaxNodes: o.MasterNodes})
+		if sol.Status != lp.Optimal && sol.Status != lp.IterationLimit {
+			return nil, 0, fmt.Errorf("master MIP %v", sol.Status)
+		}
+		delta := make([]bool, len(classes))
+		for i, v := range deltaVars {
+			delta[i] = sol.X[v] > 0.5
+		}
+		return delta, sol.X[phi], nil
+	}
+	// Relaxation lower bound + greedy rounding.
+	sol := m.Problem.Solve()
+	if sol.Status != lp.Optimal {
+		return nil, 0, fmt.Errorf("master relaxation %v", sol.Status)
+	}
+	delta := greedyRound(in.Beta, classes, cuts)
+	return delta, sol.X[phi], nil
+}
+
+// greedyRound builds a feasible delta: per flow, deselect the classes that
+// carry the largest cut weights (they force Phi up) while keeping the
+// selected probability mass at or above beta.
+func greedyRound(beta float64, classes []Class, cuts []bendersCut) []bool {
+	weight := make([]float64, len(classes))
+	for _, cut := range cuts {
+		for i, w := range cut.coef {
+			if w > weight[i] {
+				weight[i] = w
+			}
+		}
+	}
+	delta := make([]bool, len(classes))
+	byFlow := make(map[routing.FlowID][]int)
+	mass := make(map[routing.FlowID]float64)
+	for i := range delta {
+		delta[i] = true
+		byFlow[classes[i].Flow] = append(byFlow[classes[i].Flow], i)
+		mass[classes[i].Flow] += classes[i].Prob
+	}
+	for f, idxs := range byFlow {
+		order := append([]int(nil), idxs...)
+		sort.Slice(order, func(a, b int) bool { return weight[order[a]] > weight[order[b]] })
+		remaining := mass[f]
+		for _, i := range order {
+			if weight[i] <= 0 {
+				break // the rest are free to keep selected
+			}
+			if remaining-classes[i].Prob >= beta {
+				delta[i] = false
+				remaining -= classes[i].Prob
+			}
+		}
+	}
+	return delta
+}
+
+// SolveExact solves the full MIP (Phi, a, l, delta jointly, constraints
+// 2-8 verbatim) by branch-and-bound. Exponential in the class count — used
+// by tests to certify the Benders implementation on small instances.
+func SolveExact(in *te.Input, nodeLimit int) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	classes := BuildClasses(in.Tunnels, in.Scenarios)
+	m := lp.NewMIP()
+	phi := m.AddVar(1, "phi")
+	tunnelVar := make(map[routing.TunnelID]int)
+	for _, t := range in.Tunnels.Tunnels {
+		tunnelVar[t.ID] = m.AddVar(0, fmt.Sprintf("a_t%d", t.ID))
+	}
+	lVars := make([]int, len(classes))
+	dVars := make([]int, len(classes))
+	for i := range classes {
+		lVars[i] = m.AddVar(0, fmt.Sprintf("l_%d", i))
+		if _, err := m.AddUpperBound(lVars[i], 1, "l<=1"); err != nil {
+			return nil, err
+		}
+		dVars[i] = m.AddBinaryVar(0, fmt.Sprintf("delta_%d", i))
+	}
+	// (3) capacity, in deterministic link order
+	linkTerms := make(map[int][]lp.Term)
+	for _, t := range in.Tunnels.Tunnels {
+		v := tunnelVar[t.ID]
+		for _, lid := range t.Links {
+			linkTerms[int(lid)] = append(linkTerms[int(lid)], lp.Term{Var: v, Coeff: 1})
+		}
+	}
+	exactLinkIDs := make([]int, 0, len(linkTerms))
+	for lid := range linkTerms {
+		exactLinkIDs = append(exactLinkIDs, lid)
+	}
+	sort.Ints(exactLinkIDs)
+	for _, lid := range exactLinkIDs {
+		if _, err := m.AddConstraint(linkTerms[lid], lp.LE, in.Net.Links[lid].Capacity, "cap"); err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range classes {
+		d := in.Demands[c.Flow]
+		// (4): sum a >= (1 - l) d  <=>  sum a + d*l >= d
+		terms := []lp.Term{{Var: lVars[i], Coeff: d}}
+		for _, tid := range c.Avail {
+			terms = append(terms, lp.Term{Var: tunnelVar[tid], Coeff: 1})
+		}
+		if _, err := m.AddConstraint(terms, lp.GE, d, "cov"); err != nil {
+			return nil, err
+		}
+		// (6): Phi >= l - 1 + delta
+		if _, err := m.AddConstraint([]lp.Term{
+			{Var: phi, Coeff: 1}, {Var: lVars[i], Coeff: -1}, {Var: dVars[i], Coeff: -1},
+		}, lp.GE, -1, "phibound"); err != nil {
+			return nil, err
+		}
+	}
+	// (5), flows in deterministic order
+	perFlow := make(map[routing.FlowID][]lp.Term)
+	for i, c := range classes {
+		perFlow[c.Flow] = append(perFlow[c.Flow], lp.Term{Var: dVars[i], Coeff: c.Prob})
+	}
+	exactFlows := make([]routing.FlowID, 0, len(perFlow))
+	for f := range perFlow {
+		exactFlows = append(exactFlows, f)
+	}
+	sort.Slice(exactFlows, func(i, j int) bool { return exactFlows[i] < exactFlows[j] })
+	for _, f := range exactFlows {
+		if _, err := m.AddConstraint(perFlow[f], lp.GE, in.Beta, fmt.Sprintf("beta_f%d", f)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := m.AddUpperBound(phi, 1, "phi<=1"); err != nil {
+		return nil, err
+	}
+	sol := m.SolveMIP(lp.MIPOptions{MaxNodes: nodeLimit})
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: exact MIP %v", sol.Status)
+	}
+	alloc := make(te.Allocation)
+	for tid, v := range tunnelVar {
+		if x := sol.X[v]; x > 1e-9 {
+			alloc[tid] = x
+		}
+	}
+	res := &Result{Alloc: alloc, Phi: sol.X[phi], Selected: make([]bool, len(classes))}
+	for i, v := range dVars {
+		res.Selected[i] = sol.X[v] > 0.5
+	}
+	res.LB, res.UB = res.Phi, res.Phi
+	return res, nil
+}

@@ -1,0 +1,74 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is registered under the paper's artifact id
+// (fig13, tab4, ...) and prints the same rows/series the paper reports, so
+// `prete-sim -exp fig13` or the corresponding bench target reproduces the
+// artifact. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	Seed uint64
+	// Quick trades fidelity for speed (fewer scenarios, smaller sweeps,
+	// shorter training) — what the benchmarks use so `go test -bench` stays
+	// tractable; the CLI default is the full configuration.
+	Quick bool
+}
+
+// Func runs one experiment, writing its table/series to w.
+type Func func(w io.Writer, opts Options) error
+
+// registry maps artifact ids to experiments.
+var registry = map[string]struct {
+	fn    Func
+	title string
+}{}
+
+func register(id, title string, fn Func) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = struct {
+		fn    Func
+		title string
+	}{fn, title}
+}
+
+// IDs returns all registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns an experiment's human-readable title.
+func Title(id string) string { return registry[id].title }
+
+// Run executes the experiment with the given id.
+func Run(id string, w io.Writer, opts Options) error {
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", id, e.title)
+	return e.fn(w, opts)
+}
+
+// header prints a column header row.
+func header(w io.Writer, cols ...string) {
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"prete/internal/ml"
+	"prete/internal/topology"
+	"prete/internal/trace"
+)
+
+// The ext* experiments implement the paper's §8 / future-work directions —
+// they have no paper artifact to compare against, but quantify the
+// headroom the discussion section points at.
+
+func init() {
+	register("ext1", "Extension (§8): extended optical indicators (PMD, chromatic dispersion)", ext1)
+	register("ext2", "Extension (§8): deeper prediction models", ext2)
+}
+
+// extendedTrace builds a trace where PMD/CD carry real signal.
+func extendedTrace(opts Options) (*trace.Trace, error) {
+	net, err := topology.TWAN(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := trace.DefaultConfig(opts.Seed)
+	cfg.ExtendedIndicators = true
+	if opts.Quick {
+		cfg.Days = 120
+	}
+	return trace.Generate(cfg, net)
+}
+
+// ext1 compares the NN with and without the extended indicators.
+func ext1(w io.Writer, opts Options) error {
+	tr, err := extendedTrace(opts)
+	if err != nil {
+		return err
+	}
+	train, test, err := tr.Split(0.8)
+	if err != nil {
+		return err
+	}
+	epochs := 20
+	if opts.Quick {
+		epochs = 8
+	}
+	header(w, "model", "P", "R", "F1", "Acc")
+	for _, c := range []struct {
+		name string
+		mask ml.FeatureMask
+	}{
+		{"NN (paper features)", ml.AllFeatures()},
+		{"NN + PMD/CD", ml.AllFeatures().WithExtended()},
+	} {
+		cfg := ml.DefaultNNConfig(opts.Seed)
+		cfg.Epochs = epochs
+		cfg.Mask = c.mask
+		nn, err := ml.TrainNN(train, cfg)
+		if err != nil {
+			return err
+		}
+		cm := ml.Evaluate(nn, test)
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n", c.name, cm.Precision(), cm.Recall(), cm.F1(), cm.Accuracy())
+	}
+	fmt.Fprintln(w, "# §8: \"observe more optical indicators such as polarization mode dispersion, chromatic dispersion to improve the predictability\"")
+	return nil
+}
+
+// ext2 compares the vanilla MLP against deeper variants.
+func ext2(w io.Writer, opts Options) error {
+	tr, err := extendedTrace(opts)
+	if err != nil {
+		return err
+	}
+	train, test, err := tr.Split(0.8)
+	if err != nil {
+		return err
+	}
+	epochs := 20
+	depths := []int{0, 1, 2}
+	if opts.Quick {
+		epochs = 8
+		depths = []int{0, 1}
+	}
+	header(w, "extra_hidden_layers", "P", "R", "F1", "Acc")
+	for _, d := range depths {
+		cfg := ml.DefaultNNConfig(opts.Seed)
+		cfg.Epochs = epochs
+		cfg.ExtraHidden = d
+		nn, err := ml.TrainNN(train, cfg)
+		if err != nil {
+			return err
+		}
+		cm := ml.Evaluate(nn, test)
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.2f\t%.2f\n", d, cm.Precision(), cm.Recall(), cm.F1(), cm.Accuracy())
+	}
+	fmt.Fprintln(w, "# §8: \"explore the design of an effective deep neural network model\"")
+	return nil
+}

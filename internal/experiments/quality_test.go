@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+
+	"prete/internal/ml"
+	"prete/internal/optical"
+	"prete/internal/trace"
+)
+
+type fixedPredictor float64
+
+func (f fixedPredictor) PredictProb(optical.Features) float64 { return float64(f) }
+func (f fixedPredictor) Name() string                         { return "fixed" }
+
+func TestMeasuredQuality(t *testing.T) {
+	test := []trace.LabeledExample{
+		{Features: optical.Features{DegreeDB: 4.1}, Failed: true},
+		{Features: optical.Features{DegreeDB: 5.2}, Failed: true},
+		{Features: optical.Features{DegreeDB: 6.3}, Failed: false},
+		{Features: optical.Features{DegreeDB: 7.4}, Failed: false},
+	}
+	q := MeasuredQuality(fixedPredictor(0.7), test)
+	if q.PHatFail != 0.7 || q.PHatOK != 0.7 {
+		t.Fatalf("quality = %+v", q)
+	}
+	// an oracle keyed to the examples scores 1/0
+	oracle := ml.NewOracle(test)
+	q = MeasuredQuality(oracle, test)
+	if q.PHatFail < 0.99 || q.PHatOK > 0.01 {
+		t.Fatalf("oracle quality = %+v", q)
+	}
+	// degenerate single-class sets fall back to 0.5 on the missing side
+	q = MeasuredQuality(fixedPredictor(0.2), test[:2])
+	if q.PHatOK != 0.5 {
+		t.Fatalf("missing-class fallback = %+v", q)
+	}
+}

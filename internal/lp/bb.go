@@ -1,0 +1,154 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MIP wraps a Problem with binary restrictions on a subset of variables.
+// PreTE's Benders master problems (choose the scenario-selection variables
+// delta) are exactly this shape: few binaries, few cut rows.
+type MIP struct {
+	*Problem
+	binary map[int]bool
+}
+
+// NewMIP returns an empty mixed binary program.
+func NewMIP() *MIP {
+	return &MIP{Problem: NewProblem(), binary: make(map[int]bool)}
+}
+
+// AddBinaryVar introduces a variable constrained to {0, 1}.
+func (m *MIP) AddBinaryVar(objCoeff float64, name string) int {
+	v := m.Problem.AddVar(objCoeff, name)
+	m.binary[v] = true
+	// Relaxation bound x <= 1 (x >= 0 is implicit).
+	if _, err := m.Problem.AddUpperBound(v, 1, name+"<=1"); err != nil {
+		panic(err) // unreachable: v was just created
+	}
+	return v
+}
+
+// MIPOptions tunes the branch-and-bound search.
+type MIPOptions struct {
+	// MaxNodes caps the search tree; 0 means a generous default. When the
+	// cap is hit the best incumbent found so far is returned with
+	// Status == IterationLimit.
+	MaxNodes int
+	// Gap is the relative optimality gap at which search stops early.
+	Gap float64
+}
+
+// SolveMIP runs best-first branch-and-bound with LP relaxations.
+func (m *MIP) SolveMIP(opts MIPOptions) *Solution {
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 20000
+	}
+	type node struct {
+		fixed map[int]float64
+		bound float64
+	}
+	root := node{fixed: map[int]float64{}}
+	relax := m.solveWithFixings(root.fixed)
+	if relax.Status != Optimal {
+		return relax
+	}
+	root.bound = relax.Objective
+
+	var incumbent *Solution
+	stack := []node{root}
+	nodes := 0
+	for len(stack) > 0 && nodes < opts.MaxNodes {
+		nodes++
+		// Best-first: pop the node with the smallest bound.
+		bi := 0
+		for i := range stack {
+			if stack[i].bound < stack[bi].bound {
+				bi = i
+			}
+		}
+		nd := stack[bi]
+		stack = append(stack[:bi], stack[bi+1:]...)
+		if incumbent != nil && nd.bound >= incumbent.Objective-math.Abs(incumbent.Objective)*opts.Gap-1e-12 {
+			continue
+		}
+		sol := m.solveWithFixings(nd.fixed)
+		if sol.Status != Optimal {
+			continue
+		}
+		if incumbent != nil && sol.Objective >= incumbent.Objective-1e-12 {
+			continue
+		}
+		branchVar := m.mostFractional(sol)
+		if branchVar < 0 {
+			// Integral: new incumbent.
+			cp := *sol
+			incumbent = &cp
+			continue
+		}
+		for _, val := range [2]float64{math.Round(sol.X[branchVar]), 1 - math.Round(sol.X[branchVar])} {
+			child := node{fixed: make(map[int]float64, len(nd.fixed)+1), bound: sol.Objective}
+			for k, v := range nd.fixed {
+				child.fixed[k] = v
+			}
+			child.fixed[branchVar] = val
+			stack = append(stack, child)
+		}
+	}
+	if incumbent == nil {
+		if nodes >= opts.MaxNodes {
+			// Search exhausted before any integral solution: report the
+			// (possibly fractional) root relaxation rather than claiming
+			// infeasibility.
+			relax.Status = IterationLimit
+			return relax
+		}
+		return &Solution{Status: Infeasible}
+	}
+	if len(stack) > 0 && nodes >= opts.MaxNodes {
+		incumbent.Status = IterationLimit
+	}
+	return incumbent
+}
+
+// solveWithFixings solves the LP relaxation with some binaries fixed via
+// temporary equality rows.
+func (m *MIP) solveWithFixings(fixed map[int]float64) *Solution {
+	sub := &Problem{
+		numVars:     m.numVars,
+		objective:   m.objective,
+		names:       m.names,
+		constraints: append([]Constraint(nil), m.constraints...),
+	}
+	vars := make([]int, 0, len(fixed))
+	for v := range fixed {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars) // deterministic row order regardless of map iteration
+	for _, v := range vars {
+		if _, err := sub.AddConstraint([]Term{{Var: v, Coeff: 1}}, EQ, fixed[v], fmt.Sprintf("fix x%d=%g", v, fixed[v])); err != nil {
+			return &Solution{Status: Infeasible}
+		}
+	}
+	return sub.Solve()
+}
+
+// mostFractional returns the binary variable farthest from integrality in
+// the solution, or -1 when all binaries are integral.
+func (m *MIP) mostFractional(sol *Solution) int {
+	best, bestDist := -1, 1e-6
+	for v := 0; v < len(sol.X); v++ {
+		if !m.binary[v] {
+			continue
+		}
+		frac := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+		if frac > bestDist {
+			best, bestDist = v, frac
+		}
+	}
+	return best
+}
+
+// IsBinary reports whether variable v is binary-restricted.
+func (m *MIP) IsBinary(v int) bool { return m.binary[v] }

@@ -1,0 +1,152 @@
+// Package lp implements the optimization machinery PreTE's TE formulation
+// (Eqns. 2-8) needs without any external solver: a two-phase primal simplex
+// for linear programs (with dual values, which Benders decomposition
+// consumes for its optimality cuts) and a branch-and-bound solver for the
+// small binary programs that appear as Benders master problems.
+//
+// The solver is deliberately a dense-tableau simplex: the TE instances this
+// repository produces (hundreds of rows after failure-equivalence-class
+// merging, see internal/core) are comfortably within its reach, and the
+// implementation is simple enough to audit.
+package lp
+
+import "fmt"
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // <=
+	GE           // >=
+	EQ           // ==
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "=="
+	}
+}
+
+// Term is one coefficient of a linear expression.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// Constraint is a sparse linear constraint: sum(terms) Op RHS.
+type Constraint struct {
+	Terms []Term
+	Op    Op
+	RHS   float64
+	Name  string
+}
+
+// Problem is a linear program: minimize Objective . x subject to the
+// constraints, with x >= 0 elementwise. Upper bounds are expressed as
+// explicit constraints (AddUpperBound).
+type Problem struct {
+	numVars     int
+	objective   []float64
+	constraints []Constraint
+	names       []string
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVar introduces a variable with the given objective coefficient and
+// returns its index. All variables are implicitly >= 0.
+func (p *Problem) AddVar(objCoeff float64, name string) int {
+	p.objective = append(p.objective, objCoeff)
+	p.names = append(p.names, name)
+	p.numVars++
+	return p.numVars - 1
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// SetObjective overwrites the objective coefficient of a variable.
+func (p *Problem) SetObjective(v int, coeff float64) {
+	p.objective[v] = coeff
+}
+
+// AddConstraint appends a constraint and returns its row index. Terms with
+// repeated variable indices are summed.
+func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64, name string) (int, error) {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= p.numVars {
+			return 0, fmt.Errorf("lp: constraint %q references unknown variable %d", name, t.Var)
+		}
+	}
+	merged := mergeTerms(terms)
+	p.constraints = append(p.constraints, Constraint{Terms: merged, Op: op, RHS: rhs, Name: name})
+	return len(p.constraints) - 1, nil
+}
+
+// AddUpperBound adds x_v <= ub as an explicit row and returns its index.
+func (p *Problem) AddUpperBound(v int, ub float64, name string) (int, error) {
+	return p.AddConstraint([]Term{{Var: v, Coeff: 1}}, LE, ub, name)
+}
+
+func mergeTerms(terms []Term) []Term {
+	m := make(map[int]float64, len(terms))
+	order := make([]int, 0, len(terms))
+	for _, t := range terms {
+		if _, ok := m[t.Var]; !ok {
+			order = append(order, t.Var)
+		}
+		m[t.Var] += t.Coeff
+	}
+	out := make([]Term, 0, len(order))
+	for _, v := range order {
+		if m[v] != 0 {
+			out = append(out, Term{Var: v, Coeff: m[v]})
+		}
+	}
+	return out
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "iteration-limit"
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64 // primal values, len NumVars
+	Duals     []float64 // one per constraint row, len NumConstraints
+}
+
+// Value returns the primal value of variable v.
+func (s *Solution) Value(v int) float64 { return s.X[v] }

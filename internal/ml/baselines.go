@@ -1,0 +1,146 @@
+package ml
+
+import (
+	"fmt"
+
+	"prete/internal/optical"
+	"prete/internal/stats"
+	"prete/internal/trace"
+)
+
+// NaiveTeaVar is Table 5's "TeaVar" row: the static-probability approach
+// that ignores degradation signals entirely and always reports the tiny
+// long-run failure probability p_i (<< 0.5), so it never predicts a
+// failure — hence P ~ 0 and R ~ 0.
+type NaiveTeaVar struct {
+	// PI is the static per-epoch failure probability it reports.
+	PI float64
+}
+
+// PredictProb implements Predictor.
+func (n NaiveTeaVar) PredictProb(optical.Features) float64 { return n.PI }
+
+// Name implements Predictor.
+func (n NaiveTeaVar) Name() string { return "TeaVar" }
+
+// Statistic is Table 5's "Statistic model": it "models failures based on
+// the statistical relationship between degradations and failures" — a
+// per-fiber historical conditional failure rate with Laplace smoothing
+// toward the global rate.
+type Statistic struct {
+	global float64
+	rates  map[int]float64
+}
+
+// TrainStatistic fits the per-fiber rates.
+func TrainStatistic(examples []trace.LabeledExample) (*Statistic, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	pos := 0
+	counts := make(map[int][2]int)
+	for _, ex := range examples {
+		c := counts[ex.Features.FiberID]
+		c[1]++
+		if ex.Failed {
+			c[0]++
+			pos++
+		}
+		counts[ex.Features.FiberID] = c
+	}
+	s := &Statistic{
+		global: float64(pos) / float64(len(examples)),
+		rates:  make(map[int]float64, len(counts)),
+	}
+	// Laplace-style smoothing: pseudo-counts worth 4 observations at the
+	// global rate keep sparse fibers near the prior.
+	const pseudo = 4.0
+	for fiber, c := range counts {
+		s.rates[fiber] = (float64(c[0]) + pseudo*s.global) / (float64(c[1]) + pseudo)
+	}
+	return s, nil
+}
+
+// PredictProb implements Predictor.
+func (s *Statistic) PredictProb(f optical.Features) float64 {
+	if r, ok := s.rates[f.FiberID]; ok {
+		return r
+	}
+	return s.global
+}
+
+// Name implements Predictor.
+func (s *Statistic) Name() string { return "Statistic" }
+
+// Oracle knows the generative failure probability — §6.3's "oracle which
+// enables to make the prediction of fiber cuts with 100% accuracy". It
+// needs the episode's ground truth, so it predicts via a lookup keyed by
+// the episode identity rather than the features.
+type Oracle struct {
+	outcomes map[oracleKey]bool
+}
+
+type oracleKey struct {
+	fiber int
+	hour  int
+	// degree at full precision is unique enough to identify an episode
+	degree float64
+}
+
+// NewOracle indexes the labeled episodes.
+func NewOracle(examples []trace.LabeledExample) *Oracle {
+	o := &Oracle{outcomes: make(map[oracleKey]bool, len(examples))}
+	for _, ex := range examples {
+		o.outcomes[oracleKeyOf(ex.Features)] = ex.Failed
+	}
+	return o
+}
+
+func oracleKeyOf(f optical.Features) oracleKey {
+	return oracleKey{fiber: f.FiberID, hour: f.HourOfDay, degree: f.DegreeDB}
+}
+
+// PredictProb implements Predictor: 1 when the episode truly fails, else 0.
+func (o *Oracle) PredictProb(f optical.Features) float64 {
+	if o.outcomes[oracleKeyOf(f)] {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Predictor.
+func (o *Oracle) Name() string { return "Oracle" }
+
+// Evaluate computes the Table 5 metrics of a predictor on a test set.
+func Evaluate(p Predictor, test []trace.LabeledExample) stats.Confusion {
+	var c stats.Confusion
+	for _, ex := range test {
+		c.Observe(PredictLabel(p, ex.Features), ex.Failed)
+	}
+	return c
+}
+
+// PerLinkError computes, per fiber, the mean absolute error between the
+// predicted probability and the observed outcome — Fig 14's distribution of
+// prediction error across links.
+func PerLinkError(p Predictor, test []trace.LabeledExample) []float64 {
+	sum := make(map[int]float64)
+	cnt := make(map[int]int)
+	for _, ex := range test {
+		y := 0.0
+		if ex.Failed {
+			y = 1
+		}
+		e := p.PredictProb(ex.Features) - y
+		if e < 0 {
+			e = -e
+		}
+		sum[ex.Features.FiberID] += e
+		cnt[ex.Features.FiberID]++
+	}
+	out := make([]float64, 0, len(sum))
+	for fiber, s := range sum {
+		out = append(out, s/float64(cnt[fiber]))
+	}
+	return out
+}

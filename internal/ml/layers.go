@@ -1,0 +1,197 @@
+// Package ml implements the failure-prediction models of §4.1 and §6.3 from
+// scratch: the multi-layer perceptron of Appendix A.2 (one-hot and embedded
+// categorical inputs, 64-neuron hidden layer, 2-neuron decoder, softmax
+// output, negative-log-likelihood loss, L2 regularization, Adam optimizer,
+// minority oversampling), a CART decision tree, the per-fiber statistic
+// model, and the TeaVar-style naive baseline — the four rows of Table 5.
+package ml
+
+import (
+	"math"
+
+	"prete/internal/stats"
+)
+
+// adamState holds per-parameter Adam moments.
+type adamState struct {
+	m, v []float64
+	t    int
+}
+
+// Adam hyperparameters; the learning rate and L2 weight follow Appendix A.2.
+const (
+	adamBeta1   = 0.9
+	adamBeta2   = 0.999
+	adamEps     = 1e-8
+	LearnRate   = 1e-3
+	L2Weight    = 2e-4
+	HiddenUnits = 64
+)
+
+// step applies one Adam update to params given grads (which it zeroes).
+func (a *adamState) step(params, grads []float64, lr, l2 float64) {
+	if a.m == nil {
+		a.m = make([]float64, len(params))
+		a.v = make([]float64, len(params))
+	}
+	a.t++
+	bc1 := 1 - math.Pow(adamBeta1, float64(a.t))
+	bc2 := 1 - math.Pow(adamBeta2, float64(a.t))
+	for i := range params {
+		g := grads[i] + l2*params[i]
+		a.m[i] = adamBeta1*a.m[i] + (1-adamBeta1)*g
+		a.v[i] = adamBeta2*a.v[i] + (1-adamBeta2)*g*g
+		params[i] -= lr * (a.m[i] / bc1) / (math.Sqrt(a.v[i]/bc2) + adamEps)
+		grads[i] = 0
+	}
+}
+
+// linear is a fully connected layer y = Wx + b.
+type linear struct {
+	in, out int
+	w, b    []float64 // w is out x in, row-major
+	dw, db  []float64
+	optW    adamState
+	optB    adamState
+}
+
+func newLinear(in, out int, rng *stats.RNG) *linear {
+	l := &linear{
+		in: in, out: out,
+		w:  make([]float64, in*out),
+		b:  make([]float64, out),
+		dw: make([]float64, in*out),
+		db: make([]float64, out),
+	}
+	// He initialization for ReLU networks.
+	scale := math.Sqrt(2 / float64(in))
+	for i := range l.w {
+		l.w[i] = rng.NormFloat64() * scale
+	}
+	return l
+}
+
+func (l *linear) forward(x []float64) []float64 {
+	y := make([]float64, l.out)
+	for o := 0; o < l.out; o++ {
+		s := l.b[o]
+		row := l.w[o*l.in : (o+1)*l.in]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// backward accumulates gradients given the layer input and dL/dy, returning
+// dL/dx.
+func (l *linear) backward(x, gradOut []float64) []float64 {
+	gradIn := make([]float64, l.in)
+	for o := 0; o < l.out; o++ {
+		g := gradOut[o]
+		if g == 0 {
+			continue
+		}
+		l.db[o] += g
+		row := l.w[o*l.in : (o+1)*l.in]
+		drow := l.dw[o*l.in : (o+1)*l.in]
+		for i, xi := range x {
+			drow[i] += g * xi
+			gradIn[i] += g * row[i]
+		}
+	}
+	return gradIn
+}
+
+func (l *linear) step(lr float64) {
+	l.optW.step(l.w, l.dw, lr, L2Weight)
+	l.optB.step(l.b, l.db, lr, 0)
+}
+
+// embedding maps a categorical index to a learned low-dimensional vector —
+// Appendix A.2's "variable embedding" for region and fiber ID, used "to
+// reduce the curse of dimensionality".
+type embedding struct {
+	num, dim int
+	w        []float64 // num x dim
+	dw       []float64
+	opt      adamState
+}
+
+func newEmbedding(num, dim int, rng *stats.RNG) *embedding {
+	e := &embedding{
+		num: num, dim: dim,
+		w:  make([]float64, num*dim),
+		dw: make([]float64, num*dim),
+	}
+	for i := range e.w {
+		e.w[i] = rng.NormFloat64() * 0.1
+	}
+	return e
+}
+
+func (e *embedding) forward(idx int) []float64 {
+	if idx < 0 || idx >= e.num {
+		idx = 0
+	}
+	out := make([]float64, e.dim)
+	copy(out, e.w[idx*e.dim:(idx+1)*e.dim])
+	return out
+}
+
+func (e *embedding) backward(idx int, gradOut []float64) {
+	if idx < 0 || idx >= e.num {
+		idx = 0
+	}
+	drow := e.dw[idx*e.dim : (idx+1)*e.dim]
+	for i, g := range gradOut {
+		drow[i] += g
+	}
+}
+
+func (e *embedding) step(lr float64) {
+	e.opt.step(e.w, e.dw, lr, L2Weight)
+}
+
+// relu applies max(0, x) elementwise, returning the output.
+func relu(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+		}
+	}
+	return y
+}
+
+// reluBackward masks gradients where the pre-activation was <= 0.
+func reluBackward(pre, gradOut []float64) []float64 {
+	g := make([]float64, len(pre))
+	for i := range pre {
+		if pre[i] > 0 {
+			g[i] = gradOut[i]
+		}
+	}
+	return g
+}
+
+// softmax returns the normalized probability vector.
+func softmax(z []float64) []float64 {
+	maxZ := z[0]
+	for _, v := range z[1:] {
+		if v > maxZ {
+			maxZ = v
+		}
+	}
+	var sum float64
+	p := make([]float64, len(z))
+	for i, v := range z {
+		p[i] = math.Exp(v - maxZ)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}

@@ -1,0 +1,137 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// nnState is the JSON-serializable snapshot of a trained NN: weights,
+// scaler, vocabulary, and feature mask. The §5 workflow trains offline and
+// ships the model to the controller; Save/Load are that hand-off.
+type nnState struct {
+	Version int `json:"version"`
+
+	Mask FeatureMask `json:"mask"`
+
+	ScalerMin [4]float64 `json:"scaler_min"`
+	ScalerMax [4]float64 `json:"scaler_max"`
+
+	Regions map[string]int `json:"regions"`
+	Vendors map[string]int `json:"vendors"`
+	Fibers  int            `json:"fibers"`
+
+	FiberEmb  layerState   `json:"fiber_emb"`
+	RegionEmb layerState   `json:"region_emb"`
+	VendorEmb layerState   `json:"vendor_emb"`
+	L1        layerState   `json:"l1"`
+	L2        layerState   `json:"l2"`
+	Deep      []layerState `json:"deep,omitempty"`
+	Decoder   layerState   `json:"decoder"`
+}
+
+type layerState struct {
+	In  int       `json:"in"`
+	Out int       `json:"out"`
+	W   []float64 `json:"w"`
+	B   []float64 `json:"b,omitempty"`
+}
+
+const nnFormatVersion = 1
+
+// Save writes the trained model as JSON.
+func (n *NN) Save(w io.Writer) error {
+	st := nnState{
+		Version:   nnFormatVersion,
+		Mask:      n.mask,
+		ScalerMin: n.scaler.min,
+		ScalerMax: n.scaler.max,
+		Regions:   n.vocab.regions,
+		Vendors:   n.vocab.vendors,
+		Fibers:    n.vocab.fibers,
+		FiberEmb:  layerState{In: n.fiberEmb.num, Out: n.fiberEmb.dim, W: n.fiberEmb.w},
+		RegionEmb: layerState{In: n.regionEmb.num, Out: n.regionEmb.dim, W: n.regionEmb.w},
+		VendorEmb: layerState{In: n.vendorEmb.num, Out: n.vendorEmb.dim, W: n.vendorEmb.w},
+		L1:        layerState{In: n.l1.in, Out: n.l1.out, W: n.l1.w, B: n.l1.b},
+		L2:        layerState{In: n.l2.in, Out: n.l2.out, W: n.l2.w, B: n.l2.b},
+		Decoder:   layerState{In: n.decoder.in, Out: n.decoder.out, W: n.decoder.w, B: n.decoder.b},
+	}
+	for _, l := range n.deep {
+		st.Deep = append(st.Deep, layerState{In: l.in, Out: l.out, W: l.w, B: l.b})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&st)
+}
+
+// LoadNN reads a model previously written by Save.
+func LoadNN(r io.Reader) (*NN, error) {
+	var st nnState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("ml: decode model: %w", err)
+	}
+	if st.Version != nnFormatVersion {
+		return nil, fmt.Errorf("ml: unsupported model version %d", st.Version)
+	}
+	n := &NN{
+		mask:   st.Mask,
+		scaler: &minMaxScaler{min: st.ScalerMin, max: st.ScalerMax},
+		vocab:  vocab{regions: st.Regions, vendors: st.Vendors, fibers: st.Fibers},
+	}
+	if n.vocab.regions == nil {
+		n.vocab.regions = map[string]int{}
+	}
+	if n.vocab.vendors == nil {
+		n.vocab.vendors = map[string]int{}
+	}
+	var err error
+	if n.fiberEmb, err = loadEmbedding(st.FiberEmb); err != nil {
+		return nil, err
+	}
+	if n.regionEmb, err = loadEmbedding(st.RegionEmb); err != nil {
+		return nil, err
+	}
+	if n.vendorEmb, err = loadEmbedding(st.VendorEmb); err != nil {
+		return nil, err
+	}
+	if n.l1, err = loadLinear(st.L1); err != nil {
+		return nil, err
+	}
+	if n.l2, err = loadLinear(st.L2); err != nil {
+		return nil, err
+	}
+	if n.decoder, err = loadLinear(st.Decoder); err != nil {
+		return nil, err
+	}
+	for _, dl := range st.Deep {
+		l, err := loadLinear(dl)
+		if err != nil {
+			return nil, err
+		}
+		n.deep = append(n.deep, l)
+	}
+	return n, nil
+}
+
+func loadLinear(st layerState) (*linear, error) {
+	if len(st.W) != st.In*st.Out || len(st.B) != st.Out {
+		return nil, fmt.Errorf("ml: linear layer shape mismatch: %dx%d with %d weights, %d biases",
+			st.Out, st.In, len(st.W), len(st.B))
+	}
+	return &linear{
+		in: st.In, out: st.Out,
+		w: st.W, b: st.B,
+		dw: make([]float64, len(st.W)),
+		db: make([]float64, len(st.B)),
+	}, nil
+}
+
+func loadEmbedding(st layerState) (*embedding, error) {
+	if len(st.W) != st.In*st.Out {
+		return nil, fmt.Errorf("ml: embedding shape mismatch: %dx%d with %d weights", st.In, st.Out, len(st.W))
+	}
+	return &embedding{
+		num: st.In, dim: st.Out,
+		w:  st.W,
+		dw: make([]float64, len(st.W)),
+	}, nil
+}

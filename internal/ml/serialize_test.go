@@ -1,0 +1,85 @@
+package ml
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"prete/internal/optical"
+	"prete/internal/stats"
+	"prete/internal/trace"
+)
+
+func trainedTinyNN(t *testing.T) (*NN, []trace.LabeledExample) {
+	t.Helper()
+	rng := stats.NewRNG(44)
+	var data []trace.LabeledExample
+	for i := 0; i < 400; i++ {
+		degree := 3 + 7*rng.Float64()
+		data = append(data, trace.LabeledExample{
+			Features: optical.Features{
+				DegreeDB: degree, GradientDB: rng.Float64(), Fluctuation: rng.Float64(),
+				HourOfDay: rng.Intn(24), FiberID: rng.Intn(6),
+				Region: []string{"A", "B"}[rng.Intn(2)], Vendor: "V", LengthKm: 100 + rng.Float64()*900,
+			},
+			Failed: degree > 6.5,
+		})
+	}
+	cfg := DefaultNNConfig(44)
+	cfg.Epochs = 8
+	nn, err := TrainNN(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nn, data
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	nn, data := trainedTinyNN(t)
+	var buf bytes.Buffer
+	if err := nn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNN(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range data[:100] {
+		a := nn.PredictProb(ex.Features)
+		b := loaded.PredictProb(ex.Features)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("prediction diverged after round-trip: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadNN(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadNN(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// right version, broken shapes
+	if _, err := LoadNN(strings.NewReader(`{"version":1,"l1":{"in":3,"out":2,"w":[1],"b":[0,0]}}`)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestLoadedModelTrainsNoFurtherStateNeeded(t *testing.T) {
+	// A loaded model must be usable for inference without optimizer state.
+	nn, data := trainedTinyNN(t)
+	var buf bytes.Buffer
+	if err := nn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNN(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Evaluate(loaded, data)
+	if c.Accuracy() < 0.85 {
+		t.Fatalf("loaded model accuracy %v on a separable problem", c.Accuracy())
+	}
+}

@@ -1,0 +1,75 @@
+package optical
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// FluctuationFloorDB filters measurement noise out of the fluctuation
+// count: "we only consider the fluctuations larger than 0.01 dB between the
+// adjacent values" would count pure noise at a per-second sampling sigma of
+// 0.05 dB, so like the paper we count swings that clear the noise floor.
+const FluctuationFloorDB = 3 * NoiseSigmaDB
+
+// Features are the critical degradation features §3.2 identifies plus the
+// intrinsic fiber features Appendix A.2 feeds into the NN's second stage.
+type Features struct {
+	// Critical features of the degradation episode.
+	HourOfDay   int     // the *time* feature: 0-23 onset hour
+	DegreeDB    float64 // mean excess loss while degraded
+	GradientDB  float64 // mean |adjacent delta| during the episode
+	Fluctuation float64 // count of |adjacent delta| > floor, per observation
+
+	// Intrinsic fiber features.
+	FiberID  int
+	Region   string
+	Vendor   string
+	LengthKm float64
+
+	// Extended optical indicators (§8 future work): polarization mode
+	// dispersion and chromatic dispersion. Zero when the telemetry system
+	// does not collect them; the trace generator can synthesize them and
+	// the NN consumes them behind FeatureMask.Extended.
+	PMDps  float64 // polarization mode dispersion, ps
+	CDpsNm float64 // chromatic dispersion deviation, ps/nm
+}
+
+// ExtractFeatures computes Features from a degraded-sample window. The
+// window should contain the samples classified Degraded (missing samples
+// interpolated beforehand by the telemetry layer).
+func ExtractFeatures(window []Sample, fiberID int, region, vendor string, lengthKm float64) (Features, error) {
+	if len(window) == 0 {
+		return Features{}, fmt.Errorf("optical: empty degradation window")
+	}
+	var sum float64
+	for _, s := range window {
+		sum += s.ExcessDB
+	}
+	var gradSum float64
+	var flucts int
+	for i := 1; i < len(window); i++ {
+		d := math.Abs(window[i].ExcessDB - window[i-1].ExcessDB)
+		gradSum += d
+		if d > FluctuationFloorDB {
+			flucts++
+		}
+	}
+	grad := 0.0
+	fluct := 0.0
+	if len(window) > 1 {
+		grad = gradSum / float64(len(window)-1)
+		fluct = float64(flucts) / float64(len(window)-1)
+	}
+	onset := time.Unix(window[0].UnixS, 0).UTC()
+	return Features{
+		HourOfDay:   onset.Hour(),
+		DegreeDB:    sum / float64(len(window)),
+		GradientDB:  grad,
+		Fluctuation: fluct,
+		FiberID:     fiberID,
+		Region:      region,
+		Vendor:      vendor,
+		LengthKm:    lengthKm,
+	}, nil
+}

@@ -1,0 +1,260 @@
+// Package routing builds the tunnel layer of the TE system: shortest paths
+// (Dijkstra), k-shortest paths (Yen's algorithm), fiber-disjoint paths, and
+// the per-flow tunnel sets PreTE routes traffic on. Per §4.2, tunnels are
+// initialized with "both k-shortest path routing and fiber-disjoint routing
+// algorithms", four tunnels per flow (§6.1), ensuring at least one residual
+// tunnel exists for every flow under each single-fiber failure where the
+// graph allows it.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"prete/internal/topology"
+)
+
+// Path is an ordered sequence of directed IP links from a source to a
+// destination.
+type Path []topology.LinkID
+
+// Weight is a link cost function; nil means the fiber-length metric.
+type Weight func(topology.Link) float64
+
+// lengthWeight costs a link by the total fiber distance its lightpath spans.
+func lengthWeight(n *topology.Network) Weight {
+	return func(l topology.Link) float64 {
+		var km float64
+		for _, f := range l.Fibers {
+			km += n.Fiber(f).LengthKm
+		}
+		if km <= 0 {
+			km = 1
+		}
+		return km
+	}
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node topology.NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// ShortestPath runs Dijkstra from src to dst over links not in bannedLinks
+// and not touching nodes in bannedNodes (intermediate hops only; src/dst are
+// always allowed). It returns the path and true, or nil and false when dst
+// is unreachable.
+func ShortestPath(n *topology.Network, src, dst topology.NodeID, w Weight,
+	bannedLinks map[topology.LinkID]bool, bannedNodes map[topology.NodeID]bool) (Path, bool) {
+	if w == nil {
+		w = lengthWeight(n)
+	}
+	dist := make(map[topology.NodeID]float64)
+	prev := make(map[topology.NodeID]topology.LinkID)
+	visited := make(map[topology.NodeID]bool)
+	q := &pq{{node: src, dist: 0}}
+	dist[src] = 0
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if visited[it.node] {
+			continue
+		}
+		visited[it.node] = true
+		if it.node == dst {
+			break
+		}
+		if it.node != src && bannedNodes[it.node] {
+			continue
+		}
+		for _, lid := range n.OutLinks(it.node) {
+			if bannedLinks[lid] {
+				continue
+			}
+			link := n.Link(lid)
+			if link.Dst != dst && bannedNodes[link.Dst] {
+				continue
+			}
+			nd := it.dist + w(link)
+			if cur, ok := dist[link.Dst]; !ok || nd < cur {
+				dist[link.Dst] = nd
+				prev[link.Dst] = lid
+				heap.Push(q, pqItem{node: link.Dst, dist: nd})
+			}
+		}
+	}
+	if !visited[dst] {
+		return nil, false
+	}
+	var rev Path
+	for at := dst; at != src; {
+		lid := prev[at]
+		rev = append(rev, lid)
+		at = n.Link(lid).Src
+	}
+	// reverse in place
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// pathCost sums the weight of a path.
+func pathCost(n *topology.Network, p Path, w Weight) float64 {
+	var c float64
+	for _, lid := range p {
+		c += w(n.Link(lid))
+	}
+	return c
+}
+
+// KShortest returns up to k loopless shortest paths from src to dst using
+// Yen's algorithm, ordered by increasing cost.
+func KShortest(n *topology.Network, src, dst topology.NodeID, k int, w Weight) []Path {
+	if w == nil {
+		w = lengthWeight(n)
+	}
+	first, ok := ShortestPath(n, src, dst, w, nil, nil)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	type candidate struct {
+		path Path
+		cost float64
+	}
+	var candidates []candidate
+	seen := map[string]bool{pathKey(first): true}
+
+	for len(paths) < k {
+		prevPath := paths[len(paths)-1]
+		// Spur from every node of the previous path.
+		for i := 0; i < len(prevPath); i++ {
+			spurNode := src
+			if i > 0 {
+				spurNode = n.Link(prevPath[i-1]).Dst
+			}
+			rootPath := prevPath[:i]
+			bannedLinks := make(map[topology.LinkID]bool)
+			for _, p := range paths {
+				if len(p) > i && samePrefix(p, rootPath, i) {
+					bannedLinks[p[i]] = true
+				}
+			}
+			bannedNodes := make(map[topology.NodeID]bool)
+			at := src
+			for _, lid := range rootPath {
+				bannedNodes[at] = true
+				at = n.Link(lid).Dst
+			}
+			spur, ok := ShortestPath(n, spurNode, dst, w, bannedLinks, bannedNodes)
+			if !ok {
+				continue
+			}
+			total := append(append(Path(nil), rootPath...), spur...)
+			key := pathKey(total)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			candidates = append(candidates, candidate{path: total, cost: pathCost(n, total, w)})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].cost < candidates[b].cost })
+		paths = append(paths, candidates[0].path)
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func samePrefix(p Path, root Path, i int) bool {
+	if len(p) < i {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		if p[j] != root[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathKey(p Path) string {
+	b := make([]byte, 0, len(p)*3)
+	for _, l := range p {
+		b = append(b, byte(l), byte(l>>8), ',')
+	}
+	return string(b)
+}
+
+// FiberDisjointPaths returns up to k paths from src to dst that pairwise
+// share no fiber: after each path is found, every link riding any of its
+// fibers is banned.
+func FiberDisjointPaths(n *topology.Network, src, dst topology.NodeID, k int, w Weight) []Path {
+	if w == nil {
+		w = lengthWeight(n)
+	}
+	banned := make(map[topology.LinkID]bool)
+	var out []Path
+	for len(out) < k {
+		p, ok := ShortestPath(n, src, dst, w, banned, nil)
+		if !ok {
+			break
+		}
+		out = append(out, p)
+		for _, lid := range p {
+			for _, f := range n.Link(lid).Fibers {
+				for _, other := range n.LinksOnFiber(f) {
+					banned[other] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PathFibers returns the set of fibers a path's lightpaths traverse.
+func PathFibers(n *topology.Network, p Path) map[topology.FiberID]bool {
+	fibers := make(map[topology.FiberID]bool)
+	for _, lid := range p {
+		for _, f := range n.Link(lid).Fibers {
+			fibers[f] = true
+		}
+	}
+	return fibers
+}
+
+// ValidatePath checks that p is a connected src->dst walk.
+func ValidatePath(n *topology.Network, src, dst topology.NodeID, p Path) error {
+	if len(p) == 0 {
+		return fmt.Errorf("routing: empty path")
+	}
+	at := src
+	for i, lid := range p {
+		link := n.Link(lid)
+		if link.Src != at {
+			return fmt.Errorf("routing: hop %d starts at %d, expected %d", i, link.Src, at)
+		}
+		at = link.Dst
+	}
+	if at != dst {
+		return fmt.Errorf("routing: path ends at %d, want %d", at, dst)
+	}
+	return nil
+}

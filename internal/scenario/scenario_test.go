@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prete/internal/stats"
+	"prete/internal/topology"
+)
+
+func TestEnumerateSmall(t *testing.T) {
+	// The §2.2 illustrative network: p = 0.005, 0.009, 0.001.
+	probs := []float64{0.005, 0.009, 0.001}
+	set, err := Enumerate(probs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// empty + 3 singles + 3 doubles = 7
+	if len(set.Scenarios) != 7 {
+		t.Fatalf("scenarios = %d, want 7", len(set.Scenarios))
+	}
+	// empty scenario first with probability prod(1-p)
+	if len(set.Scenarios[0].Cut) != 0 {
+		t.Fatal("first scenario should be the empty one")
+	}
+	want := (1 - 0.005) * (1 - 0.009) * (1 - 0.001)
+	if math.Abs(set.Scenarios[0].Prob-want) > 1e-12 {
+		t.Fatalf("empty prob = %v, want %v", set.Scenarios[0].Prob, want)
+	}
+	// single failure of fiber 1: p1 * (1-p0) * (1-p2)
+	for _, s := range set.Scenarios {
+		if len(s.Cut) == 1 && s.Cut[0] == 1 {
+			want := 0.009 * (1 - 0.005) * (1 - 0.001)
+			if math.Abs(s.Prob-want) > 1e-12 {
+				t.Fatalf("single prob = %v, want %v", s.Prob, want)
+			}
+		}
+	}
+	if set.Covered <= 0.999 {
+		t.Fatalf("covered mass = %v", set.Covered)
+	}
+}
+
+func TestEnumerateCutoffAndCap(t *testing.T) {
+	probs := make([]float64, 30)
+	for i := range probs {
+		probs[i] = 0.001
+	}
+	set, err := Enumerate(probs, Options{Cutoff: 1e-5, MaxFailures: 2, MaxScenarios: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Scenarios) != 10 {
+		t.Fatalf("cap not applied: %d", len(set.Scenarios))
+	}
+	if len(set.Scenarios[0].Cut) != 0 {
+		t.Fatal("empty scenario evicted by the cap")
+	}
+	// cutoff: doubles have prob ~1e-6 < 1e-5, so none survive
+	for _, s := range set.Scenarios {
+		if len(s.Cut) > 1 {
+			t.Fatalf("double scenario with prob %v survived a 1e-5 cutoff", s.Prob)
+		}
+	}
+}
+
+func TestEnumerateValidation(t *testing.T) {
+	if _, err := Enumerate([]float64{-0.1}, DefaultOptions()); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := Enumerate([]float64{1.5}, DefaultOptions()); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := Enumerate([]float64{math.NaN()}, DefaultOptions()); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestEnumerateCertainFailure(t *testing.T) {
+	// p = 1 makes every scenario without that fiber impossible, and the
+	// scenarios WITH it must carry the full probability mass — PreTE's
+	// evaluation conditions on certain cuts, so this must not degenerate.
+	set, err := Enumerate([]float64{1, 0.01}, Options{Cutoff: 0, MaxFailures: 2, MaxScenarios: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mass float64
+	for _, s := range set.Scenarios {
+		has := false
+		for _, f := range s.Cut {
+			if f == 0 {
+				has = true
+			}
+		}
+		if !has && s.Prob > 0 {
+			t.Fatalf("scenario %v has positive probability despite fiber 0 being certainly cut", s)
+		}
+		if has {
+			mass += s.Prob
+		}
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Fatalf("scenarios containing the certain cut carry mass %v, want 1", mass)
+	}
+	// {0}: 1 * (1-0.01) = 0.99; {0,1}: 1 * 0.01
+	if math.Abs(set.Covered-1) > 1e-12 {
+		t.Fatalf("covered = %v, want 1", set.Covered)
+	}
+}
+
+func TestScenarioKeyAndCutSet(t *testing.T) {
+	a := Scenario{Cut: []topology.FiberID{1, 2}}
+	b := Scenario{Cut: []topology.FiberID{1, 2}}
+	c := Scenario{Cut: []topology.FiberID{1, 3}}
+	if a.Key() != b.Key() {
+		t.Error("equal scenarios have different keys")
+	}
+	if a.Key() == c.Key() {
+		t.Error("different scenarios share a key")
+	}
+	cs := a.CutSet()
+	if !cs[1] || !cs[2] || cs[3] {
+		t.Errorf("cut set = %v", cs)
+	}
+}
+
+func TestCalibrated(t *testing.T) {
+	pi := []float64{0.01, 0.02, 0.03}
+	degraded := map[topology.FiberID]float64{1: 0.45}
+	out, err := Calibrated(pi, degraded, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 4.1: non-degraded fibers drop to (1-alpha) p_i.
+	if math.Abs(out[0]-0.75*0.01) > 1e-12 || math.Abs(out[2]-0.75*0.03) > 1e-12 {
+		t.Fatalf("non-degraded calibration wrong: %v", out)
+	}
+	// Degraded fiber uses the NN output.
+	if out[1] != 0.45 {
+		t.Fatalf("degraded fiber p = %v, want 0.45", out[1])
+	}
+}
+
+func TestCalibratedDegenerateAlpha(t *testing.T) {
+	pi := []float64{0.01}
+	// alpha = 0: degenerates to the static model (PreTE -> TeaVar, §4.1.2).
+	out, err := Calibrated(pi, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0.01 {
+		t.Fatalf("alpha=0 should leave p_i unchanged: %v", out[0])
+	}
+}
+
+func TestCalibratedValidation(t *testing.T) {
+	pi := []float64{0.01}
+	if _, err := Calibrated(pi, nil, -0.1); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := Calibrated(pi, nil, 1); err == nil {
+		t.Error("alpha = 1 accepted")
+	}
+	if _, err := Calibrated(pi, map[topology.FiberID]float64{5: 0.4}, 0.25); err == nil {
+		t.Error("out-of-range fiber accepted")
+	}
+	if _, err := Calibrated(pi, map[topology.FiberID]float64{0: 1.5}, 0.25); err == nil {
+		t.Error("invalid pNN accepted")
+	}
+	if _, err := Calibrated([]float64{2}, nil, 0.25); err == nil {
+		t.Error("invalid pi accepted")
+	}
+}
+
+func TestStaticCopies(t *testing.T) {
+	pi := []float64{0.1, 0.2}
+	out := Static(pi)
+	out[0] = 99
+	if pi[0] == 99 {
+		t.Fatal("Static returned an alias")
+	}
+}
+
+// Property: scenario probabilities are nonnegative, sum below 1, and
+// deduplicated.
+func TestQuickEnumerateSane(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		n := int(nRaw%20) + 1
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64() * 0.1
+		}
+		set, err := Enumerate(probs, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		var sum float64
+		for _, s := range set.Scenarios {
+			if s.Prob < 0 {
+				return false
+			}
+			if seen[s.Key()] {
+				return false
+			}
+			seen[s.Key()] = true
+			sum += s.Prob
+		}
+		return sum <= 1+1e-9 && math.Abs(sum-set.Covered) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: calibration with degradations only ever increases a degraded
+// fiber's probability relative to (1-alpha) p_i when pNN > p_i.
+func TestQuickCalibrationOrdering(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		pi := []float64{rng.Float64() * 0.01}
+		pNN := 0.3 + rng.Float64()*0.6
+		out, err := Calibrated(pi, map[topology.FiberID]float64{0: pNN}, 0.25)
+		if err != nil {
+			return false
+		}
+		base, err := Calibrated(pi, nil, 0.25)
+		if err != nil {
+			return false
+		}
+		return out[0] > base[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

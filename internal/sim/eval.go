@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"fmt"
+
+	"prete/internal/core"
+	"prete/internal/routing"
+	"prete/internal/scenario"
+	"prete/internal/te"
+	"prete/internal/topology"
+)
+
+// PredictorQuality models how good the failure predictor is, in the terms
+// the evaluation needs: the expected probability it reports for episodes
+// that truly fail and for episodes that do not. The oracle is {1, 0}; a
+// TeaVar-style non-predictor reports the tiny static probability in both
+// cases. Fig 15 sweeps this across the Table 5 models.
+type PredictorQuality struct {
+	Name     string
+	PHatFail float64 // E[p-hat | episode leads to a cut]
+	PHatOK   float64 // E[p-hat | episode does not]
+}
+
+// OracleQuality is the perfect predictor.
+func OracleQuality() PredictorQuality {
+	return PredictorQuality{Name: "Oracle", PHatFail: 1, PHatOK: 0}
+}
+
+// NNQuality approximates the paper's NN (Table 5: P = R = 0.81).
+func NNQuality() PredictorQuality { return PredictorQuality{Name: "NN", PHatFail: 0.81, PHatOK: 0.19} }
+
+// Evaluator measures a scheme's availability in an environment.
+type Evaluator struct {
+	Env *Env
+	Cfg Config
+	// Quality parameterizes PreTE-like schemes' predictions; ignored by
+	// static schemes.
+	Quality PredictorQuality
+
+	// caches
+	recomputeCache map[string]*te.Plan // Flexile post-failure plans
+	oracleCache    map[string]*te.Plan // oracle per-cut plans
+	restoreCache   map[string]*te.Plan // ARROW post-restoration plans
+}
+
+// NewEvaluator builds an evaluator with the NN-quality predictor.
+func NewEvaluator(env *Env, cfg Config) *Evaluator {
+	return &Evaluator{
+		Env: env, Cfg: cfg, Quality: NNQuality(),
+		recomputeCache: make(map[string]*te.Plan),
+		oracleCache:    make(map[string]*te.Plan),
+		restoreCache:   make(map[string]*te.Plan),
+	}
+}
+
+// Evaluate measures availability for a named scheme at a demand scale.
+// Scheme names: ECMP, FFC-1, FFC-2, TeaVar, ARROW, Flexile, Oracle, PreTE,
+// PreTE-naive.
+func (ev *Evaluator) Evaluate(schemeName string, scale float64) (Availability, error) {
+	demands := ev.Env.BaseDemands.Scale(scale)
+	return ev.EvaluateDemands(schemeName, demands, demands)
+}
+
+// EvaluateDemands separates the demands the scheme plans with from the
+// true demands used to judge satisfaction — the workload-uncertainty knob
+// of Fig 17 (a scheme without demand prediction plans on stale demand).
+func (ev *Evaluator) EvaluateDemands(schemeName string, planned, truth te.Demands) (Availability, error) {
+	switch schemeName {
+	case "ECMP", "FFC-1", "FFC-2", "TeaVar", "ARROW", "Flexile":
+		return ev.evaluateStatic(schemeName, planned, truth)
+	case "Oracle":
+		return ev.evaluateOracle(planned, truth)
+	case "PreTE", "PreTE-naive":
+		ratio := 1.0
+		if schemeName == "PreTE-naive" {
+			ratio = 0
+		}
+		return ev.evaluatePreTE(planned, truth, ratio)
+	default:
+		return Availability{}, fmt.Errorf("sim: unknown scheme %q", schemeName)
+	}
+}
+
+// EvaluatePreTERatio evaluates PreTE with an explicit new-tunnel ratio —
+// the §6.4 sensitivity knob of Fig 16.
+func (ev *Evaluator) EvaluatePreTERatio(scale, ratio float64) (Availability, error) {
+	d := ev.Env.BaseDemands.Scale(scale)
+	return ev.evaluatePreTE(d, d, ratio)
+}
+
+// staticPlan computes the single pre-failure plan of a static scheme.
+func (ev *Evaluator) staticPlan(schemeName string, demands te.Demands) (*te.Plan, error) {
+	set, err := scenario.Enumerate(scenario.Static(ev.Env.PI), ev.Cfg.ScenarioOpts)
+	if err != nil {
+		return nil, err
+	}
+	in := &te.Input{
+		Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
+		Scenarios: set, Beta: ev.Cfg.Beta,
+	}
+	switch schemeName {
+	case "ECMP":
+		return te.ECMP{}.Plan(in)
+	case "FFC-1":
+		return te.FFC{K: 1}.Plan(in)
+	case "FFC-2":
+		return te.FFC{K: 2}.Plan(in)
+	case "TeaVar":
+		tv := core.NewTeaVar()
+		ep, err := tv.PlanEpoch(core.EpochInput{
+			Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
+			Beta: ev.Cfg.Beta, PI: ev.Env.PI,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ep.Plan, nil
+	case "ARROW":
+		return te.ARROW{RestorationS: ev.Cfg.ARROWRestorationS}.Plan(in)
+	case "Flexile":
+		return te.Flexile{ConvergenceS: ev.Cfg.FlexileConvergenceS}.Plan(in)
+	}
+	return nil, fmt.Errorf("sim: not a static scheme: %q", schemeName)
+}
+
+// evaluateStatic handles schemes whose plan ignores degradation signals.
+func (ev *Evaluator) evaluateStatic(schemeName string, planned, truth te.Demands) (Availability, error) {
+	plan, err := ev.staticPlan(schemeName, planned)
+	if err != nil {
+		return Availability{}, err
+	}
+	perFlow := make([]float64, len(ev.Env.Tunnels.Flows))
+	for _, ds := range ev.Env.DegScenarios(ev.Cfg) {
+		probs := ev.Env.TruthProbs(ev.Cfg, ds.Fiber)
+		fs, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
+		if err != nil {
+			return Availability{}, err
+		}
+		for _, q := range fs.Scenarios {
+			cut := q.CutSet()
+			for fi := range perFlow {
+				credit := ev.credit(schemeName, plan, planned, truth, routing.FlowID(fi), cut)
+				perFlow[fi] += ds.Prob * q.Prob * credit
+			}
+		}
+		// the un-enumerated failure tail counts as loss for every flow
+	}
+	return summarize(perFlow), nil
+}
+
+// credit returns the fraction of the epoch during which the flow's full
+// demand is delivered, per the scheme's reaction model.
+func (ev *Evaluator) credit(schemeName string, plan *te.Plan, planned, truth te.Demands, f routing.FlowID, cut map[topology.FiberID]bool) float64 {
+	d := truth[f]
+	if d <= 0 {
+		return 1
+	}
+	okNow := te.Satisfied(plan, f, d, cut)
+	switch schemeName {
+	case "ARROW":
+		if okNow {
+			return 1
+		}
+		// Restoration rebuilds a fraction of the lost capacity on surviving
+		// spectrum after the restoration window; the flow is whole again
+		// only if the restored network can carry it.
+		post := ev.arrowRestore(planned, cut)
+		if post != nil && te.Satisfied(post, f, d, nil) {
+			return 1 - ev.Cfg.ARROWRestorationS/ev.Cfg.EpochS
+		}
+		return 0
+	case "Flexile":
+		if okNow {
+			// Unaffected by this failure; recomputation may still shuffle
+			// it, but it keeps service.
+			return 1
+		}
+		post := ev.flexileRecompute(planned, cut)
+		if post != nil && te.Satisfied(post, f, d, cut) {
+			return 1 - ev.Cfg.FlexileConvergenceS/ev.Cfg.EpochS
+		}
+		return 0
+	default: // proactive rate adaptation: instant or nothing
+		if okNow {
+			return 1
+		}
+		return 0
+	}
+}
+
+// flexileRecompute returns (and caches) the post-failure optimal plan.
+func (ev *Evaluator) flexileRecompute(demands te.Demands, cut map[topology.FiberID]bool) *te.Plan {
+	key := cutKey(cut) + fmt.Sprintf("|%f", demands[0])
+	if p, ok := ev.recomputeCache[key]; ok {
+		return p
+	}
+	in := &te.Input{
+		Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
+		Scenarios: &scenario.Set{Scenarios: []scenario.Scenario{{Prob: 1}}, Covered: 1},
+		Beta:      ev.Cfg.Beta,
+	}
+	p, err := te.Flexile{}.Recompute(in, cut)
+	if err != nil {
+		p = nil
+	}
+	ev.recomputeCache[key] = p
+	return p
+}
+
+// arrowRestore returns (and caches) the plan on the partially restored
+// network: links that rode cut fibers come back at ARROWRestoreFrac of
+// their capacity.
+func (ev *Evaluator) arrowRestore(demands te.Demands, cut map[topology.FiberID]bool) *te.Plan {
+	key := "arrow|" + cutKey(cut) + fmt.Sprintf("|%f", demands[0])
+	if p, ok := ev.restoreCache[key]; ok {
+		return p
+	}
+	caps := make(map[topology.LinkID]float64)
+	for f := range cut {
+		if !cut[f] {
+			continue
+		}
+		for _, lid := range ev.Env.Net.LinksOnFiber(f) {
+			caps[lid] = ev.Env.Net.Link(lid).Capacity * ev.Cfg.ARROWRestoreFrac
+		}
+	}
+	in := &te.Input{
+		Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
+		Scenarios: &scenario.Set{Scenarios: []scenario.Scenario{{Prob: 1}}, Covered: 1},
+		Beta:      ev.Cfg.Beta,
+	}
+	p, err := te.MinMaxLossPlanWithCaps(in, nil, caps)
+	if err != nil {
+		p = nil
+	}
+	ev.restoreCache[key] = p
+	return p
+}
+
+func cutKey(cut map[topology.FiberID]bool) string {
+	b := make([]byte, len(cut)*3)
+	i := 0
+	// map iteration order doesn't matter if we sort by accumulating bits
+	var bits [64]bool
+	for f := range cut {
+		if int(f) < 64 {
+			bits[f] = true
+		}
+	}
+	for f, on := range bits {
+		if on {
+			b[i] = byte(f)
+			i++
+		}
+	}
+	return string(b[:i])
+}
+
+// evaluateOracle: per failure scenario, the oracle switches (ahead of the
+// failure) to the optimal plan for the post-failure topology, with new
+// tunnels for the cut fibers.
+func (ev *Evaluator) evaluateOracle(planned, truth te.Demands) (Availability, error) {
+	perFlow := make([]float64, len(ev.Env.Tunnels.Flows))
+	for _, ds := range ev.Env.DegScenarios(ev.Cfg) {
+		probs := ev.Env.TruthProbs(ev.Cfg, ds.Fiber)
+		fs, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
+		if err != nil {
+			return Availability{}, err
+		}
+		for _, q := range fs.Scenarios {
+			cut := q.CutSet()
+			plan, err := ev.oraclePlan(planned, q.Cut)
+			if err != nil {
+				return Availability{}, err
+			}
+			for fi := range perFlow {
+				if te.Satisfied(plan, routing.FlowID(fi), truth[fi], cut) {
+					perFlow[fi] += ds.Prob * q.Prob
+				}
+			}
+		}
+	}
+	return summarize(perFlow), nil
+}
+
+func (ev *Evaluator) oraclePlan(demands te.Demands, cutList []topology.FiberID) (*te.Plan, error) {
+	cut := make(map[topology.FiberID]bool, len(cutList))
+	for _, f := range cutList {
+		cut[f] = true
+	}
+	key := cutKey(cut) + fmt.Sprintf("|%f", demands[0])
+	if p, ok := ev.oracleCache[key]; ok {
+		return p, nil
+	}
+	// With future knowledge the oracle pre-establishes detour tunnels for
+	// the fibers about to fail (the Fig 3 behaviour).
+	tunnels := ev.Env.Tunnels
+	for _, f := range cutList {
+		res, err := core.UpdateTunnels(tunnels, f, 1)
+		if err != nil {
+			return nil, err
+		}
+		tunnels = res.Tunnels
+	}
+	in := &te.Input{
+		Net: ev.Env.Net, Tunnels: tunnels, Demands: demands,
+		Scenarios: &scenario.Set{Scenarios: []scenario.Scenario{{Prob: 1}}, Covered: 1},
+		Beta:      ev.Cfg.Beta,
+	}
+	p, err := te.MinMaxLossPlan(in, cut)
+	if err != nil {
+		return nil, err
+	}
+	ev.oracleCache[key] = p
+	return p, nil
+}
+
+// evaluatePreTE: the quiet scenario uses the Theorem 4.1-calibrated static
+// plan; each degradation scenario splits into the episode-fails and
+// episode-benign worlds, with the predictor's conditional output (the
+// Quality knob) driving the plan in each.
+func (ev *Evaluator) evaluatePreTE(planned, truth te.Demands, ratio float64) (Availability, error) {
+	p := core.New()
+	p.TunnelRatio = ratio
+	p.ScenarioOpts = ev.Cfg.ScenarioOpts
+	p.Alpha = ev.Cfg.Alpha
+
+	perFlow := make([]float64, len(ev.Env.Tunnels.Flows))
+	for _, ds := range ev.Env.DegScenarios(ev.Cfg) {
+		if ds.Fiber < 0 {
+			// Quiet epoch: calibrated plan, no signals.
+			ep, err := p.PlanEpoch(core.EpochInput{
+				Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: planned,
+				Beta: ev.Cfg.Beta, PI: ev.Env.PI,
+			})
+			if err != nil {
+				return Availability{}, err
+			}
+			if err := ev.accumulate(perFlow, ds.Prob, truth, ep.Plan, ds.Fiber, -1); err != nil {
+				return Availability{}, err
+			}
+			continue
+		}
+		// Degraded epoch: two worlds by the episode's true outcome.
+		for _, world := range []struct {
+			prob float64
+			pHat float64
+			fail bool
+		}{
+			{ev.Cfg.PCutGivenDeg, ev.Quality.PHatFail, true},
+			{1 - ev.Cfg.PCutGivenDeg, ev.Quality.PHatOK, false},
+		} {
+			ep, err := p.PlanEpoch(core.EpochInput{
+				Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: planned,
+				Beta: ev.Cfg.Beta, PI: ev.Env.PI,
+				Signals: []core.DegradationSignal{{Fiber: topology.FiberID(ds.Fiber), PNN: ev.Quality.clampPHat(world.pHat)}},
+			})
+			if err != nil {
+				return Availability{}, err
+			}
+			failFiber := -1
+			if world.fail {
+				failFiber = ds.Fiber
+			}
+			if err := ev.accumulate(perFlow, ds.Prob*world.prob, truth, ep.Plan, ds.Fiber, failFiber); err != nil {
+				return Availability{}, err
+			}
+		}
+	}
+	return summarize(perFlow), nil
+}
+
+func (q PredictorQuality) clampPHat(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// accumulate integrates a plan's per-flow credit over the failure
+// scenarios of one (degradation scenario, world) branch. failFiber >= 0
+// forces that fiber to be cut (the episode truly fails); the remaining
+// fibers fail with the Theorem 4.1 residual probability.
+func (ev *Evaluator) accumulate(perFlow []float64, branchProb float64, truth te.Demands, plan *te.Plan, degFiber, failFiber int) error {
+	probs := make([]float64, len(ev.Env.PI))
+	for i, p := range ev.Env.PI {
+		probs[i] = (1 - ev.Cfg.Alpha) * p
+	}
+	if failFiber >= 0 {
+		probs[failFiber] = 1
+	} else if degFiber >= 0 {
+		probs[degFiber] = 0 // benign world: this episode does not cut
+	}
+	fs, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
+	if err != nil {
+		return err
+	}
+	for _, q := range fs.Scenarios {
+		cut := q.CutSet()
+		for fi := range perFlow {
+			if te.Satisfied(plan, routing.FlowID(fi), truth[fi], cut) {
+				perFlow[fi] += branchProb * q.Prob
+			}
+		}
+	}
+	return nil
+}

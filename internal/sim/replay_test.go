@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"prete/internal/ml"
+	"prete/internal/topology"
+	"prete/internal/trace"
+)
+
+func replayTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	net, err := topology.B4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.DefaultConfig(17)
+	cfg.Days = 365
+	tr, err := trace.Generate(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestReplayValidation(t *testing.T) {
+	tr := replayTrace(t)
+	if _, err := Replay(tr, ReplayConfig{Scheme: "nope"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+// TestReplayPreTEBeatsTeaVar is the end-to-end headline: walking the same
+// trace with the same oracle-grade predictor, PreTE loses fewer flow-epochs
+// than TeaVar because predicted cuts find tunnels already in place.
+func TestReplayPreTEBeatsTeaVar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay in -short mode")
+	}
+	tr := replayTrace(t)
+	train, _, err := tr.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ml.NewOracle(train) // ideal predictor on seen episodes
+
+	cfgP := DefaultReplayConfig("PreTE")
+	cfgP.Predictor = oracle
+	cfgP.MaxEventEpochs = 40
+	cfgP.DemandGbps = 220 // load the network enough that cuts can bite
+	pre, err := Replay(tr, cfgP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgT := DefaultReplayConfig("TeaVar")
+	cfgT.Predictor = oracle
+	cfgT.MaxEventEpochs = 40
+	cfgT.DemandGbps = 220
+	tv, err := Replay(tr, cfgT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("PreTE : %+v lossRate=%.4f", *pre, pre.LossRate())
+	t.Logf("TeaVar: %+v lossRate=%.4f", *tv, tv.LossRate())
+	if pre.EventEpochs == 0 || pre.CutEpochs == 0 {
+		t.Skip("trace window had no cut epochs")
+	}
+	if pre.LossRate() > tv.LossRate()+1e-9 {
+		t.Fatalf("PreTE loss rate %.4f exceeds TeaVar's %.4f", pre.LossRate(), tv.LossRate())
+	}
+	if pre.EstablishedTuns == 0 {
+		t.Fatal("PreTE established no tunnels across a year of degradations")
+	}
+	if tv.EstablishedTuns != 0 {
+		t.Fatal("TeaVar established tunnels")
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay in -short mode")
+	}
+	tr := replayTrace(t)
+	cfg := DefaultReplayConfig("PreTE")
+	cfg.MaxEventEpochs = 20
+	a, err := Replay(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("replay not deterministic: %+v vs %+v", *a, *b)
+	}
+}

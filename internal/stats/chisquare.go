@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ContingencyTable is a 2D table of observed event counts. PreTE uses 2x2
+// tables (degradation x failure, Appendix A.1 Tables 6-7) and kxn tables for
+// the per-feature tests in §3.2 (Table 1).
+type ContingencyTable struct {
+	Counts [][]float64
+}
+
+// NewContingencyTable allocates a rows x cols table of zeros.
+func NewContingencyTable(rows, cols int) *ContingencyTable {
+	c := make([][]float64, rows)
+	for i := range c {
+		c[i] = make([]float64, cols)
+	}
+	return &ContingencyTable{Counts: c}
+}
+
+// Add increments cell (i, j) by n.
+func (t *ContingencyTable) Add(i, j int, n float64) { t.Counts[i][j] += n }
+
+// Totals returns the row sums, column sums, and grand total.
+func (t *ContingencyTable) Totals() (rows, cols []float64, total float64) {
+	rows = make([]float64, len(t.Counts))
+	if len(t.Counts) == 0 {
+		return rows, nil, 0
+	}
+	cols = make([]float64, len(t.Counts[0]))
+	for i, row := range t.Counts {
+		for j, v := range row {
+			rows[i] += v
+			cols[j] += v
+			total += v
+		}
+	}
+	return rows, cols, total
+}
+
+// ChiSquareResult carries the outcome of a chi-square independence test.
+type ChiSquareResult struct {
+	Statistic float64 // the chi-square statistic
+	DF        int     // degrees of freedom
+	PValue    float64 // P(X^2_df >= Statistic)
+}
+
+// Rejected reports whether the null hypothesis (independence) is rejected at
+// the given significance threshold; the paper uses 0.01 throughout.
+func (r ChiSquareResult) Rejected(alpha float64) bool { return r.PValue < alpha }
+
+// ChiSquareIndependence runs Pearson's chi-square test of independence on a
+// contingency table, exactly the procedure §3.1/§3.2 applies to confirm that
+// fiber degradations and the four critical features are related to fiber
+// cuts. Expected counts are derived from the marginals.
+func ChiSquareIndependence(t *ContingencyTable) (ChiSquareResult, error) {
+	nr := len(t.Counts)
+	if nr < 2 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square needs >= 2 rows, got %d", nr)
+	}
+	nc := len(t.Counts[0])
+	if nc < 2 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square needs >= 2 cols, got %d", nc)
+	}
+	rows, cols, total := t.Totals()
+	if total <= 0 {
+		return ChiSquareResult{}, fmt.Errorf("stats: empty contingency table")
+	}
+	var stat float64
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			expected := rows[i] * cols[j] / total
+			if expected == 0 {
+				continue
+			}
+			d := t.Counts[i][j] - expected
+			stat += d * d / expected
+		}
+	}
+	df := (nr - 1) * (nc - 1)
+	return ChiSquareResult{
+		Statistic: stat,
+		DF:        df,
+		PValue:    ChiSquareSurvival(stat, df),
+	}, nil
+}
+
+// ChiSquareSurvival returns P(X >= x) for a chi-square distribution with df
+// degrees of freedom, i.e. the upper regularized incomplete gamma function
+// Q(df/2, x/2).
+func ChiSquareSurvival(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return regularizedGammaQ(float64(df)/2, x/2)
+}
+
+// regularizedGammaQ computes Q(a, x) = Gamma(a, x)/Gamma(a) using the series
+// expansion for x < a+1 and the continued fraction otherwise (Numerical
+// Recipes style). Accuracy is ample for p-value reporting down to ~1e-300.
+func regularizedGammaQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - regularizedGammaPSeries(a, x)
+	default:
+		return regularizedGammaQContinuedFraction(a, x)
+	}
+}
+
+// regularizedGammaPSeries evaluates P(a, x) by its power series.
+func regularizedGammaPSeries(a, x float64) float64 {
+	const (
+		maxIter = 1000
+		eps     = 1e-15
+	)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// regularizedGammaQContinuedFraction evaluates Q(a, x) by Lentz's method.
+func regularizedGammaQContinuedFraction(a, x float64) float64 {
+	const (
+		maxIter = 1000
+		eps     = 1e-15
+		tiny    = 1e-300
+	)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

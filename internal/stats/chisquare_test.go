@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	// Reference values from standard chi-square tables.
+	cases := []struct {
+		x    float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{3.841, 1, 0.05, 1e-3},
+		{6.635, 1, 0.01, 1e-3},
+		{5.991, 2, 0.05, 1e-3},
+		{9.210, 2, 0.01, 1e-3},
+		{18.307, 10, 0.05, 1e-3},
+		{0, 1, 1, 0},
+	}
+	for _, c := range cases {
+		got := ChiSquareSurvival(c.x, c.df)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("Survival(%v, %d) = %v, want %v", c.x, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareSurvivalExtreme(t *testing.T) {
+	// Must be able to report the paper's p < 1e-50 without underflow to a
+	// bogus value.
+	p := ChiSquareSurvival(300, 1)
+	if !(p > 0) || p > 1e-50 {
+		t.Fatalf("Survival(300, 1) = %v, want tiny positive", p)
+	}
+}
+
+// TestPaperTable6 reproduces Appendix A.1: the observed degradation/failure
+// contingency table must reject independence with p << 0.01.
+func TestPaperTable6(t *testing.T) {
+	tab := NewContingencyTable(2, 2)
+	// Rows: failure / no failure; cols: degradation / no degradation.
+	tab.Counts[0][0] = 1
+	tab.Counts[0][1] = 2.6
+	tab.Counts[1][0] = 1.5
+	tab.Counts[1][1] = 6516.7
+	res, err := ChiSquareIndependence(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejected(0.01) {
+		t.Fatalf("Table 6 data should reject independence, p = %v", res.PValue)
+	}
+	if res.PValue > 1e-50 {
+		t.Errorf("paper reports p < 1e-50, got %v", res.PValue)
+	}
+}
+
+// TestPaperTable7 reproduces the counter-case: under the null, the expected
+// count in the (failure, degradation) cell is ~1.2 and independence is NOT
+// rejected.
+func TestPaperTable7(t *testing.T) {
+	tab := NewContingencyTable(2, 2)
+	tab.Counts[0][0] = 1.2
+	tab.Counts[0][1] = 3151.8
+	tab.Counts[1][0] = 2144.8
+	tab.Counts[1][1] = 5655630.2
+	res, err := ChiSquareIndependence(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected(0.01) {
+		t.Fatalf("Table 7 data should not reject independence, p = %v", res.PValue)
+	}
+}
+
+func TestChiSquareIndependentData(t *testing.T) {
+	// Perfectly proportional table -> statistic 0, p-value 1.
+	tab := NewContingencyTable(2, 2)
+	tab.Counts[0][0] = 10
+	tab.Counts[0][1] = 30
+	tab.Counts[1][0] = 20
+	tab.Counts[1][1] = 60
+	res, err := ChiSquareIndependence(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic > 1e-9 || res.PValue < 0.999 {
+		t.Fatalf("proportional table should yield stat 0: %+v", res)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, err := ChiSquareIndependence(NewContingencyTable(1, 2)); err == nil {
+		t.Error("1-row table accepted")
+	}
+	if _, err := ChiSquareIndependence(NewContingencyTable(2, 1)); err == nil {
+		t.Error("1-col table accepted")
+	}
+	if _, err := ChiSquareIndependence(NewContingencyTable(2, 2)); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestContingencyTotals(t *testing.T) {
+	tab := NewContingencyTable(2, 3)
+	tab.Add(0, 0, 1)
+	tab.Add(0, 2, 2)
+	tab.Add(1, 1, 3)
+	rows, cols, total := tab.Totals()
+	if total != 6 {
+		t.Fatalf("total = %v", total)
+	}
+	if rows[0] != 3 || rows[1] != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if cols[0] != 1 || cols[1] != 3 || cols[2] != 2 {
+		t.Fatalf("cols = %v", cols)
+	}
+}
+
+func TestRegularizedGammaComplement(t *testing.T) {
+	// P(a,x) + Q(a,x) == 1 across both evaluation branches.
+	for _, a := range []float64{0.5, 1, 2.5, 10} {
+		for _, x := range []float64{0.1, 1, 5, 20} {
+			q := regularizedGammaQ(a, x)
+			var p float64
+			if x < a+1 {
+				p = regularizedGammaPSeries(a, x)
+			} else {
+				p = 1 - regularizedGammaQContinuedFraction(a, x)
+			}
+			if math.Abs(p+q-1) > 1e-10 {
+				t.Errorf("P+Q != 1 at a=%v x=%v: %v", a, x, p+q)
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeibullCDFQuantileRoundTrip(t *testing.T) {
+	w := Weibull{Shape: 0.8, Scale: 0.002} // the paper's §6.1 parameters
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		x := w.Quantile(p)
+		got := w.CDF(x)
+		if math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestWeibullSampleMatchesCDF(t *testing.T) {
+	w := Weibull{Shape: 0.8, Scale: 0.002}
+	r := NewRNG(21)
+	const n = 100000
+	med := w.Quantile(0.5)
+	below := 0
+	for i := 0; i < n; i++ {
+		if w.Sample(r) <= med {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("fraction below median = %v", frac)
+	}
+}
+
+func TestWeibullScalingProperty(t *testing.T) {
+	// If X ~ Weibull(k, lambda) then cX ~ Weibull(k, c*lambda): the property
+	// §6.1 invokes to keep failure probabilities Weibull-distributed.
+	w := Weibull{Shape: 0.8, Scale: 0.002}
+	ws := w.Scaled(3)
+	for _, x := range []float64{0.001, 0.003, 0.01} {
+		if got, want := ws.CDF(3*x), w.CDF(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("scaled CDF mismatch at %v: %v vs %v", x, got, want)
+		}
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	w := Weibull{Shape: 2, Scale: 1} // Rayleigh-like: mean = Gamma(1.5) ≈ 0.8862
+	if got := w.Mean(); math.Abs(got-math.Sqrt(math.Pi)/2) > 1e-12 {
+		t.Fatalf("Weibull mean = %v", got)
+	}
+}
+
+func TestWeibullValidate(t *testing.T) {
+	if err := (Weibull{Shape: 0.8, Scale: 0.002}).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	for _, w := range []Weibull{{0, 1}, {1, 0}, {-1, 1}, {math.NaN(), 1}} {
+		if err := w.Validate(); err == nil {
+			t.Errorf("invalid params %+v accepted", w)
+		}
+	}
+}
+
+func TestGeometricMeanEstimate(t *testing.T) {
+	g := Geometric{P: 0.2}
+	r := NewRNG(31)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(g.Sample(r))
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("geometric mean = %v, want ~5", mean)
+	}
+}
+
+func TestGeometricCDF(t *testing.T) {
+	g := Geometric{P: 0.5}
+	if got := g.CDF(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(1) = %v", got)
+	}
+	if got := g.CDF(2); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("CDF(2) = %v", got)
+	}
+	if got := g.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+}
+
+func TestExponentialCDF(t *testing.T) {
+	e := Exponential{Rate: 2}
+	if got := e.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	want := 1 - math.Exp(-2)
+	if got := e.CDF(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CDF(1) = %v want %v", got, want)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	l := LogNormal{Mu: math.Log(10), Sigma: 1.5}
+	if got := l.Median(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("median = %v", got)
+	}
+	// half the sample should fall below the median
+	r := NewRNG(41)
+	below, n := 0, 50000
+	for i := 0; i < n; i++ {
+		if l.Sample(r) <= 10 {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(n); math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("fraction below median = %v", frac)
+	}
+}
+
+// Property: all CDFs are monotone non-decreasing and bounded to [0,1].
+func TestQuickCDFMonotone(t *testing.T) {
+	w := Weibull{Shape: 0.8, Scale: 0.002}
+	l := LogNormal{Mu: 1, Sigma: 2}
+	e := Exponential{Rate: 0.3}
+	f := func(a, b float64) bool {
+		x, y := math.Abs(a), math.Abs(b)
+		if x > y {
+			x, y = y, x
+		}
+		for _, cdf := range []func(float64) float64{w.CDF, l.CDF, e.CDF} {
+			cx, cy := cdf(x), cdf(y)
+			if cx < 0 || cy > 1 || cx > cy+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Weibull samples are always positive.
+func TestQuickWeibullPositive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		w := Weibull{Shape: 0.8, Scale: 0.002}
+		for i := 0; i < 16; i++ {
+			if w.Sample(r) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

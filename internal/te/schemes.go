@@ -1,0 +1,203 @@
+package te
+
+import (
+	"fmt"
+
+	"prete/internal/routing"
+	"prete/internal/topology"
+)
+
+// ECMP splits each flow's demand equally across its tunnels ("ECMP [7]
+// serves as a baseline"), then scales the whole matrix down uniformly if
+// any link would overload. It plans for no failures at all.
+type ECMP struct{}
+
+// Name implements Scheme.
+func (ECMP) Name() string { return "ECMP" }
+
+// Plan implements Scheme.
+func (ECMP) Plan(in *Input) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	alloc := make(Allocation)
+	for _, fl := range in.Tunnels.Flows {
+		tids := in.Tunnels.TunnelsOf(fl.ID)
+		if len(tids) == 0 {
+			continue
+		}
+		share := in.Demands[fl.ID] / float64(len(tids))
+		for _, tid := range tids {
+			alloc[tid] = share
+		}
+	}
+	plan := &Plan{Alloc: alloc, Tunnels: in.Tunnels}
+	// Feasibility: every tunnel's traffic is cut back by its bottleneck
+	// link's oversubscription factor, the way per-link fair dropping would
+	// behave — overloaded links shed proportionally, uncongested paths are
+	// untouched.
+	oversub := make(map[topology.LinkID]float64)
+	for lid, load := range LinkLoads(plan) {
+		if c := in.Net.Link(lid).Capacity; load > c {
+			oversub[lid] = load / c
+		}
+	}
+	if len(oversub) > 0 {
+		worst := 1.0
+		for tid := range alloc {
+			factor := 1.0
+			for _, lid := range in.Tunnels.Tunnel(tid).Links {
+				if f := oversub[lid]; f > factor {
+					factor = f
+				}
+			}
+			if factor > 1 {
+				alloc[tid] /= factor
+				if factor > worst {
+					worst = factor
+				}
+			}
+		}
+		plan.MaxLoss = 1 - 1/worst
+	}
+	return plan, nil
+}
+
+// FFC is forward fault correction [26]: the allocation must satisfy every
+// flow under all failure scenarios with up to K simultaneous fiber cuts
+// ("FFC-1" and "FFC-2" in §6.1).
+type FFC struct {
+	K int
+}
+
+// Name implements Scheme.
+func (f FFC) Name() string { return fmt.Sprintf("FFC-%d", f.K) }
+
+// Plan implements Scheme.
+func (f FFC) Plan(in *Input) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if f.K < 1 {
+		return nil, fmt.Errorf("te: FFC needs K >= 1, got %d", f.K)
+	}
+	cuts := enumerateCuts(len(in.Net.Fibers), f.K)
+	var rows []coverageRow
+	for _, fl := range in.Tunnels.Flows {
+		tids := in.Tunnels.TunnelsOf(fl.ID)
+		// Deduplicate scenarios by the surviving tunnel set: two cut sets
+		// leaving the flow the same tunnels impose the identical
+		// constraint, and on IBM-scale double-failure enumeration this
+		// shrinks tens of thousands of rows to a few per flow.
+		seen := make(map[string]bool)
+		for _, cut := range cuts {
+			var avail []routing.TunnelID
+			for _, tid := range tids {
+				if in.Tunnels.Tunnel(tid).AvailableUnder(cut) {
+					avail = append(avail, tid)
+				}
+			}
+			if len(avail) == 0 {
+				continue // unprotectable scenario; skipping mirrors FFC's
+				// restriction to scenarios with surviving tunnels
+			}
+			key := availKey(avail)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			rows = append(rows, coverageRow{Flow: fl.ID, Tunnels: avail})
+		}
+	}
+	alloc, phi, err := solveMinMaxLoss(in.Net, in.Tunnels, in.Demands, rows, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Alloc: alloc, MaxLoss: phi, Tunnels: in.Tunnels}, nil
+}
+
+// availKey canonicalizes a surviving tunnel set (IDs are already ordered
+// by the per-flow tunnel list).
+func availKey(tids []routing.TunnelID) string {
+	b := make([]byte, 0, len(tids)*3)
+	for _, t := range tids {
+		b = append(b, byte(t), byte(t>>8), ',')
+	}
+	return string(b)
+}
+
+// enumerateCuts lists all fiber cut sets of size 0..k.
+func enumerateCuts(numFibers, k int) []map[topology.FiberID]bool {
+	out := []map[topology.FiberID]bool{{}}
+	for i := 0; i < numFibers; i++ {
+		out = append(out, map[topology.FiberID]bool{topology.FiberID(i): true})
+	}
+	if k >= 2 {
+		for i := 0; i < numFibers; i++ {
+			for j := i + 1; j < numFibers; j++ {
+				out = append(out, map[topology.FiberID]bool{
+					topology.FiberID(i): true, topology.FiberID(j): true,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ARROW [41] plans aggressively for the no-failure case and relies on
+// optical restoration to rebuild lost capacity within RestorationS seconds
+// of a cut; the simulation charges affected flows that restoration window.
+type ARROW struct {
+	// RestorationS is the end-to-end restoration latency (§6.1: 8 s).
+	RestorationS float64
+}
+
+// Name implements Scheme.
+func (ARROW) Name() string { return "ARROW" }
+
+// Plan implements Scheme.
+func (a ARROW) Plan(in *Input) (*Plan, error) {
+	return MinMaxLossPlan(in, nil)
+}
+
+// Flexile [21] is the reactive representative: optimal for the current
+// topology, with a centralized recomputation after each failure that takes
+// ConvergenceS seconds during which affected flows run on the stale plan.
+type Flexile struct {
+	// ConvergenceS is the time to detect, recompute and install the new
+	// policy (reaction "Seconds" per Table 9).
+	ConvergenceS float64
+}
+
+// Name implements Scheme.
+func (Flexile) Name() string { return "Flexile" }
+
+// Plan implements Scheme.
+func (f Flexile) Plan(in *Input) (*Plan, error) {
+	return MinMaxLossPlan(in, nil)
+}
+
+// Recompute is Flexile's reaction: a fresh optimal plan for the
+// post-failure topology (reactive schemes may also establish new tunnels,
+// which the caller models by passing an extended tunnel set).
+func (f Flexile) Recompute(in *Input, cut map[topology.FiberID]bool) (*Plan, error) {
+	return MinMaxLossPlan(in, cut)
+}
+
+// Oracle has perfect future knowledge (§2.2): for each scenario it plans
+// the post-failure topology directly and switches before the failure bites.
+type Oracle struct{}
+
+// Name implements Scheme.
+func (Oracle) Name() string { return "Oracle" }
+
+// Plan implements Scheme (the no-failure plan; per-scenario plans come from
+// PlanFor).
+func (o Oracle) Plan(in *Input) (*Plan, error) {
+	return MinMaxLossPlan(in, nil)
+}
+
+// PlanFor returns the oracle's plan given certain knowledge of the cut set.
+func (o Oracle) PlanFor(in *Input, cut map[topology.FiberID]bool) (*Plan, error) {
+	return MinMaxLossPlan(in, cut)
+}

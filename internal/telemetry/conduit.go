@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"sort"
+
+	"prete/internal/topology"
+)
+
+// ConduitGroups maps each fiber to the set of fibers sharing its physical
+// conduit. §3.1: "some fibers may degrade together because of a common
+// conduit or their geographical proximity. In our work, we consider these
+// fibers as a single entity" — a degradation signal on one member
+// therefore applies to the whole group.
+// Fibers with Conduit <= 0 are singletons (no shared conduit).
+func ConduitGroups(net *topology.Network) map[topology.FiberID][]topology.FiberID {
+	byConduit := make(map[int][]topology.FiberID)
+	out := make(map[topology.FiberID][]topology.FiberID, len(net.Fibers))
+	for _, f := range net.Fibers {
+		if f.Conduit <= 0 {
+			out[f.ID] = []topology.FiberID{f.ID}
+			continue
+		}
+		byConduit[f.Conduit] = append(byConduit[f.Conduit], f.ID)
+	}
+	for _, members := range byConduit {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		for _, f := range members {
+			out[f] = members
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"testing"
+
+	"prete/internal/topology"
+)
+
+func TestConduitGroups(t *testing.T) {
+	nodes := []topology.Node{{ID: 0}, {ID: 1}, {ID: 2}}
+	fibers := []topology.Fiber{
+		{ID: 0, A: 0, B: 1, Conduit: 5},
+		{ID: 1, A: 1, B: 2, Conduit: 5}, // shares conduit with fiber 0
+		{ID: 2, A: 0, B: 2, Conduit: 7},
+		{ID: 3, A: 0, B: 2}, // no conduit: singleton
+	}
+	net, err := topology.New("c", nodes, fibers, []topology.Link{
+		{ID: 0, Src: 0, Dst: 1, Capacity: 1, Fibers: []topology.FiberID{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ConduitGroups(net)
+	if len(g[0]) != 2 || g[0][0] != 0 || g[0][1] != 1 {
+		t.Fatalf("group of fiber 0 = %v", g[0])
+	}
+	if len(g[1]) != 2 {
+		t.Fatalf("group of fiber 1 = %v", g[1])
+	}
+	if len(g[2]) != 1 || g[2][0] != 2 {
+		t.Fatalf("group of fiber 2 = %v", g[2])
+	}
+	if len(g[3]) != 1 {
+		t.Fatalf("zero-conduit fiber should be a singleton, got %v", g[3])
+	}
+}
+
+func TestConduitGroupsOnBuiltins(t *testing.T) {
+	net, err := topology.B4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ConduitGroups(net)
+	shared := 0
+	for _, members := range g {
+		if len(members) > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("builders should produce some shared conduits")
+	}
+	if shared == len(net.Fibers) {
+		t.Fatal("not every fiber should share a conduit")
+	}
+}

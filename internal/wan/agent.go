@@ -1,0 +1,166 @@
+package wan
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// SwitchConfig models the data-plane latencies of a production router.
+type SwitchConfig struct {
+	// InstallLatency is the time to program one tunnel (hundreds of
+	// milliseconds on production gear per §6.4; tests shrink it).
+	InstallLatency time.Duration
+	// RateLatency is the time to update rate-adaptation match-action
+	// entries ("relatively fast", §2.1 — milliseconds).
+	RateLatency time.Duration
+	// MaxTunnels bounds the tunnel table ("a commercial router can always
+	// support tens of thousands of tunnels", §6.3).
+	MaxTunnels int
+}
+
+// DefaultSwitchConfig matches the testbed's measured behaviour.
+func DefaultSwitchConfig() SwitchConfig {
+	return SwitchConfig{
+		InstallLatency: 250 * time.Millisecond,
+		RateLatency:    2 * time.Millisecond,
+		MaxTunnels:     20000,
+	}
+}
+
+// SwitchAgent is the software agent on one router. Tunnel installs are
+// serialized through a mutex, reproducing the production choice that
+// "guarantees a consistent allocation of resource costs" (§5) and the
+// resulting linear update time of Fig 11b.
+type SwitchAgent struct {
+	Name string
+	cfg  SwitchConfig
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	tunnels map[int][]int
+	rates   map[string]float64
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewSwitchAgent starts an agent listening on a fresh loopback port.
+func NewSwitchAgent(name string, cfg SwitchConfig) (*SwitchAgent, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("wan: listen: %w", err)
+	}
+	a := &SwitchAgent{
+		Name: name, cfg: cfg, ln: ln,
+		tunnels: make(map[int][]int),
+		rates:   make(map[string]float64),
+		closed:  make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.acceptLoop()
+	return a, nil
+}
+
+// Addr returns the agent's listen address.
+func (a *SwitchAgent) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the agent and waits for its handlers.
+func (a *SwitchAgent) Close() error {
+	close(a.closed)
+	err := a.ln.Close()
+	a.wg.Wait()
+	return err
+}
+
+// NumTunnels returns the current tunnel-table size.
+func (a *SwitchAgent) NumTunnels() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.tunnels)
+}
+
+// Rates returns a copy of the installed rate table.
+func (a *SwitchAgent) Rates() map[string]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]float64, len(a.rates))
+	for k, v := range a.rates {
+		out[k] = v
+	}
+	return out
+}
+
+func (a *SwitchAgent) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		c, err := a.ln.Accept()
+		if err != nil {
+			select {
+			case <-a.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.serve(newConn(c))
+		}()
+	}
+}
+
+func (a *SwitchAgent) serve(c *conn) {
+	defer c.close()
+	for {
+		var req Request
+		if err := c.readRequest(&req); err != nil {
+			return
+		}
+		resp := a.handle(&req)
+		if err := c.writeResponse(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (a *SwitchAgent) handle(req *Request) *Response {
+	start := time.Now()
+	resp := &Response{OK: true, TunnelID: req.TunnelID}
+	switch req.Type {
+	case MsgPing:
+		// nothing
+	case MsgInstallTunnel:
+		a.mu.Lock() // serializes installs
+		if len(a.tunnels) >= a.cfg.MaxTunnels {
+			a.mu.Unlock()
+			return &Response{Err: "tunnel table full", TunnelID: req.TunnelID}
+		}
+		time.Sleep(a.cfg.InstallLatency)
+		a.tunnels[req.TunnelID] = append([]int(nil), req.Path...)
+		a.mu.Unlock()
+	case MsgRemoveTunnel:
+		a.mu.Lock()
+		time.Sleep(a.cfg.RateLatency)
+		delete(a.tunnels, req.TunnelID)
+		a.mu.Unlock()
+	case MsgUpdateRates:
+		a.mu.Lock()
+		time.Sleep(a.cfg.RateLatency)
+		for k, v := range req.Rates {
+			a.rates[k] = v
+		}
+		a.mu.Unlock()
+	default:
+		return &Response{Err: fmt.Sprintf("unknown message %q", req.Type)}
+	}
+	resp.TookMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return resp
+}

@@ -1,0 +1,110 @@
+package wan
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+)
+
+// Controller is the centralized TE controller: it holds persistent
+// connections to every switch agent, installs tunnels serially across the
+// fleet, and pushes rate-adaptation updates.
+type Controller struct {
+	conns   map[string]*conn // by switch name
+	Timeout time.Duration
+}
+
+// NewController dials the given agents (name -> address).
+func NewController(agents map[string]string) (*Controller, error) {
+	c := &Controller{conns: make(map[string]*conn, len(agents)), Timeout: 10 * time.Second}
+	for name, addr := range agents {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("wan: dial %s (%s): %w", name, addr, err)
+		}
+		c.conns[name] = newConn(raw)
+	}
+	return c, nil
+}
+
+// Close tears down all connections.
+func (c *Controller) Close() error {
+	var first error
+	for _, cn := range c.conns {
+		if err := cn.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Ping round-trips every agent (connectivity check).
+func (c *Controller) Ping() error {
+	for name, cn := range c.conns {
+		if _, err := cn.roundTrip(&Request{Type: MsgPing}, c.Timeout); err != nil {
+			return fmt.Errorf("wan: ping %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// TunnelInstall describes one tunnel to program on one switch.
+type TunnelInstall struct {
+	Switch   string
+	TunnelID int
+	Path     []int
+}
+
+// InstallTunnels programs the given tunnels one at a time — the serialized
+// production behaviour of §5 — and returns the total wall time (Fig 11b's
+// y-axis).
+func (c *Controller) InstallTunnels(installs []TunnelInstall) (time.Duration, error) {
+	start := time.Now()
+	for _, ins := range installs {
+		cn, ok := c.conns[ins.Switch]
+		if !ok {
+			return time.Since(start), fmt.Errorf("wan: unknown switch %q", ins.Switch)
+		}
+		if _, err := cn.roundTrip(&Request{
+			Type: MsgInstallTunnel, TunnelID: ins.TunnelID, Path: ins.Path,
+		}, c.Timeout); err != nil {
+			return time.Since(start), err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// UpdateRates pushes a rate-adaptation table to every switch ("only
+// requires updating match-action entries at few switches", §2.1) and
+// returns the wall time.
+func (c *Controller) UpdateRates(rates map[string]float64) (time.Duration, error) {
+	start := time.Now()
+	names := make([]string, 0, len(c.conns))
+	for n := range c.conns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := c.conns[n].roundTrip(&Request{Type: MsgUpdateRates, Rates: rates}, c.Timeout); err != nil {
+			return time.Since(start), err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// RemoveTunnels deletes tunnels (the §4.2 restoration to the original
+// state after a quiet TE period).
+func (c *Controller) RemoveTunnels(installs []TunnelInstall) error {
+	for _, ins := range installs {
+		cn, ok := c.conns[ins.Switch]
+		if !ok {
+			return fmt.Errorf("wan: unknown switch %q", ins.Switch)
+		}
+		if _, err := cn.roundTrip(&Request{Type: MsgRemoveTunnel, TunnelID: ins.TunnelID}, c.Timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

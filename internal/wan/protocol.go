@@ -1,0 +1,80 @@
+// Package wan emulates the production control plane of §5's testbed: switch
+// agents speaking a JSON-over-TCP protocol to a centralized controller that
+// installs tunnels (serially, matching the production behaviour behind
+// Fig 11b's linear update time) and pushes rate-adaptation tables. Combined
+// with the optical.VOA script it reproduces the §5 scenario end to end and
+// measures the Fig 11a latency breakdown.
+package wan
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// MsgType enumerates protocol requests.
+type MsgType string
+
+// Protocol message types.
+const (
+	MsgInstallTunnel MsgType = "install_tunnel"
+	MsgRemoveTunnel  MsgType = "remove_tunnel"
+	MsgUpdateRates   MsgType = "update_rates"
+	MsgPing          MsgType = "ping"
+)
+
+// Request is a controller -> switch message.
+type Request struct {
+	Type     MsgType            `json:"type"`
+	TunnelID int                `json:"tunnel_id,omitempty"`
+	Path     []int              `json:"path,omitempty"` // link IDs
+	Rates    map[string]float64 `json:"rates,omitempty"`
+}
+
+// Response is a switch -> controller message.
+type Response struct {
+	OK       bool    `json:"ok"`
+	Err      string  `json:"err,omitempty"`
+	TookMS   float64 `json:"took_ms"`
+	TunnelID int     `json:"tunnel_id,omitempty"`
+}
+
+// conn wraps a TCP connection with JSON framing (one JSON value per line,
+// via the stdlib stream encoder/decoder).
+type conn struct {
+	raw net.Conn
+	enc *json.Encoder
+	dec *json.Decoder
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{raw: c, enc: json.NewEncoder(c), dec: json.NewDecoder(c)}
+}
+
+func (c *conn) writeRequest(r *Request) error   { return c.enc.Encode(r) }
+func (c *conn) readRequest(r *Request) error    { return c.dec.Decode(r) }
+func (c *conn) writeResponse(r *Response) error { return c.enc.Encode(r) }
+func (c *conn) readResponse(r *Response) error  { return c.dec.Decode(r) }
+func (c *conn) close() error                    { return c.raw.Close() }
+
+// roundTrip sends a request and waits for its response with a deadline.
+func (c *conn) roundTrip(req *Request, timeout time.Duration) (*Response, error) {
+	if timeout > 0 {
+		if err := c.raw.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		defer c.raw.SetDeadline(time.Time{})
+	}
+	if err := c.writeRequest(req); err != nil {
+		return nil, fmt.Errorf("wan: send %s: %w", req.Type, err)
+	}
+	var resp Response
+	if err := c.readResponse(&resp); err != nil {
+		return nil, fmt.Errorf("wan: recv %s: %w", req.Type, err)
+	}
+	if !resp.OK {
+		return &resp, fmt.Errorf("wan: switch rejected %s: %s", req.Type, resp.Err)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,251 @@
+package wan
+
+import (
+	"fmt"
+	"time"
+
+	"prete/internal/core"
+	"prete/internal/optical"
+	"prete/internal/routing"
+	"prete/internal/scenario"
+	"prete/internal/stats"
+	"prete/internal/te"
+	"prete/internal/telemetry"
+	"prete/internal/topology"
+)
+
+// Predictor is the NN inference hook the testbed calls on a degradation
+// event (tests stub it; examples plug the trained internal/ml model).
+type Predictor func(f optical.Features) float64
+
+// PipelineTiming is the Fig 11a latency breakdown of one degradation
+// reaction: detection, model inference, tunnel update (the dominant term),
+// failure-scenario regeneration, and TE computation.
+type PipelineTiming struct {
+	Detection     time.Duration
+	Inference     time.Duration
+	TunnelUpdate  time.Duration
+	ScenarioRegen time.Duration
+	TECompute     time.Duration
+	RateInstall   time.Duration
+}
+
+// Total returns the end-to-end reaction latency.
+func (p PipelineTiming) Total() time.Duration {
+	return p.Detection + p.Inference + p.TunnelUpdate + p.ScenarioRegen + p.TECompute + p.RateInstall
+}
+
+// Testbed wires the §5 setup: the three-site triangle topology, one switch
+// agent per site, a VOA on the s1-s2 fiber, and the PreTE controller
+// pipeline.
+type Testbed struct {
+	Net     *topology.Network
+	Tunnels *routing.TunnelSet
+	Agents  []*SwitchAgent
+	Ctl     *Controller
+	Predict Predictor
+	// PI are the static failure probabilities of the three fibers (the
+	// §2.2 values by default).
+	PI []float64
+}
+
+// NewTestbed builds the triangle testbed with the given switch latencies.
+func NewTestbed(cfg SwitchConfig, predict Predictor) (*Testbed, error) {
+	nodes := []topology.Node{{ID: 0, Name: "s1"}, {ID: 1, Name: "s2"}, {ID: 2, Name: "s3"}}
+	fibers := []topology.Fiber{
+		{ID: 0, A: 0, B: 1, LengthKm: 100},
+		{ID: 1, A: 0, B: 2, LengthKm: 100},
+		{ID: 2, A: 1, B: 2, LengthKm: 100},
+	}
+	var links []topology.Link
+	add := func(src, dst topology.NodeID, f topology.FiberID) {
+		links = append(links, topology.Link{
+			ID: topology.LinkID(len(links)), Src: src, Dst: dst,
+			Capacity: 100, Fibers: []topology.FiberID{f}, // 100 Gbps per wavelength (§5)
+		})
+	}
+	add(0, 1, 0)
+	add(1, 0, 0)
+	add(0, 2, 1)
+	add(2, 0, 1)
+	add(1, 2, 2)
+	add(2, 1, 2)
+	net, err := topology.New("testbed", nodes, fibers, links)
+	if err != nil {
+		return nil, err
+	}
+	flows := []routing.Flow{{ID: 0, Src: 0, Dst: 1}, {ID: 1, Src: 0, Dst: 2}}
+	ts, err := routing.BuildTunnels(net, flows, 1)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{Net: net, Tunnels: ts, Predict: predict, PI: []float64{0.005, 0.009, 0.001}}
+	agents := make(map[string]string, 3)
+	for _, n := range nodes {
+		a, err := NewSwitchAgent(n.Name, cfg)
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		tb.Agents = append(tb.Agents, a)
+		agents[n.Name] = a.Addr()
+	}
+	ctl, err := NewController(agents)
+	if err != nil {
+		tb.Close()
+		return nil, err
+	}
+	tb.Ctl = ctl
+	return tb, nil
+}
+
+// Close tears the testbed down.
+func (tb *Testbed) Close() {
+	if tb.Ctl != nil {
+		tb.Ctl.Close()
+	}
+	for _, a := range tb.Agents {
+		a.Close()
+	}
+}
+
+// RunScenario replays the §5 VOA script (healthy 0-65 s, degraded
+// 65-110 s, cut at 110 s) against the telemetry detector and, on the
+// degradation signal, executes the full PreTE reaction pipeline, returning
+// its timing breakdown. The optical timeline is replayed at full speed —
+// wall-clock costs are only incurred by the real computations and the real
+// TCP round-trips to the switch agents.
+func (tb *Testbed) RunScenario(seed uint64) (*PipelineTiming, error) {
+	fiberSim := optical.NewFiberSim(100, stats.NewRNG(seed))
+	samples := optical.TestbedScript().Replay(fiberSim, 0)
+	det := telemetry.NewDetector(2)
+	var timing PipelineTiming
+	for _, s := range samples {
+		detectStart := time.Now()
+		events := det.Observe(s)
+		for _, ev := range events {
+			if ev.Type != telemetry.DegradationStart {
+				continue
+			}
+			timing.Detection = time.Since(detectStart)
+			t, err := tb.reactToDegradation(ev)
+			if err != nil {
+				return nil, err
+			}
+			t.Detection = timing.Detection
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("wan: the VOA script produced no degradation event")
+}
+
+// reactToDegradation runs inference -> Algorithm 1 -> scenario regeneration
+// -> TE computation -> rate installation, timing each stage.
+func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, error) {
+	var timing PipelineTiming
+	// Model inference ("only takes several milliseconds", §5).
+	t0 := time.Now()
+	feats, err := optical.ExtractFeatures(ev.Window, 0, "testbed", "voa", 100)
+	if err != nil {
+		return nil, err
+	}
+	pNN := tb.Predict(feats)
+	timing.Inference = time.Since(t0)
+
+	// Tunnel update: Algorithm 1 + serialized installation on the agents.
+	t0 = time.Now()
+	upd, err := core.UpdateTunnels(tb.Tunnels, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	installs := tb.installsFor(upd)
+	if _, err := tb.Ctl.InstallTunnels(installs); err != nil {
+		return nil, err
+	}
+	timing.TunnelUpdate = time.Since(t0)
+
+	// Failure-scenario regeneration (Eqn. 1 + enumeration).
+	t0 = time.Now()
+	probs, err := scenario.Calibrated(tb.PI, map[topology.FiberID]float64{0: pNN}, 0.25)
+	if err != nil {
+		return nil, err
+	}
+	set, err := scenario.Enumerate(probs, scenario.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	timing.ScenarioRegen = time.Since(t0)
+
+	// TE computation (Benders on the updated tunnels).
+	t0 = time.Now()
+	opt := core.DefaultOptimizer()
+	res, err := opt.Solve(&te.Input{
+		Net: tb.Net, Tunnels: upd.Tunnels,
+		Demands:   te.Demands{50, 50},
+		Scenarios: set, Beta: 0.99,
+	})
+	if err != nil {
+		return nil, err
+	}
+	timing.TECompute = time.Since(t0)
+
+	// Rate adaptation push.
+	t0 = time.Now()
+	rates := make(map[string]float64, len(res.Alloc))
+	for tid, amt := range res.Alloc {
+		rates[fmt.Sprintf("t%d", tid)] = amt
+	}
+	if _, err := tb.Ctl.UpdateRates(rates); err != nil {
+		return nil, err
+	}
+	timing.RateInstall = time.Since(t0)
+	return &timing, nil
+}
+
+// installsFor maps Algorithm 1's new tunnels to per-switch install
+// commands (the head-end switch of each tunnel programs it).
+func (tb *Testbed) installsFor(upd *core.UpdateResult) []TunnelInstall {
+	var out []TunnelInstall
+	for _, tn := range upd.Tunnels.Tunnels {
+		if !tn.New {
+			continue
+		}
+		head := tb.Net.Nodes[int(upd.Tunnels.Flows[tn.Flow].Src)]
+		path := make([]int, len(tn.Links))
+		for i, l := range tn.Links {
+			path[i] = int(l)
+		}
+		out = append(out, TunnelInstall{Switch: head.Name, TunnelID: int(tn.ID), Path: path})
+	}
+	return out
+}
+
+// MeasureInstallScaling measures tunnel installation wall time for
+// growing batch sizes (Fig 11b).
+func MeasureInstallScaling(cfg SwitchConfig, counts []int) (map[int]time.Duration, error) {
+	agent, err := NewSwitchAgent("s1", cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer agent.Close()
+	ctl, err := NewController(map[string]string{"s1": agent.Addr()})
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+	out := make(map[int]time.Duration, len(counts))
+	next := 0
+	for _, n := range counts {
+		installs := make([]TunnelInstall, n)
+		for i := range installs {
+			installs[i] = TunnelInstall{Switch: "s1", TunnelID: next, Path: []int{0, 1}}
+			next++
+		}
+		d, err := ctl.InstallTunnels(installs)
+		if err != nil {
+			return nil, err
+		}
+		out[n] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package wan
+
+import (
+	"testing"
+	"time"
+
+	"prete/internal/optical"
+)
+
+func fastSwitch() SwitchConfig {
+	return SwitchConfig{
+		InstallLatency: 2 * time.Millisecond,
+		RateLatency:    200 * time.Microsecond,
+		MaxTunnels:     100,
+	}
+}
+
+func TestAgentPingAndClose(t *testing.T) {
+	a, err := NewSwitchAgent("s1", fastSwitch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(map[string]string{"s1": a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallAndRemoveTunnels(t *testing.T) {
+	a, err := NewSwitchAgent("s1", fastSwitch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ctl, err := NewController(map[string]string{"s1": a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	installs := []TunnelInstall{
+		{Switch: "s1", TunnelID: 1, Path: []int{0, 1}},
+		{Switch: "s1", TunnelID: 2, Path: []int{2}},
+	}
+	if _, err := ctl.InstallTunnels(installs); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.NumTunnels(); got != 2 {
+		t.Fatalf("tunnel table = %d, want 2", got)
+	}
+	if err := ctl.RemoveTunnels(installs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.NumTunnels(); got != 1 {
+		t.Fatalf("tunnel table = %d after removal, want 1", got)
+	}
+}
+
+func TestInstallUnknownSwitch(t *testing.T) {
+	a, err := NewSwitchAgent("s1", fastSwitch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ctl, err := NewController(map[string]string{"s1": a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	if _, err := ctl.InstallTunnels([]TunnelInstall{{Switch: "nope", TunnelID: 1}}); err == nil {
+		t.Fatal("unknown switch accepted")
+	}
+}
+
+func TestTunnelTableLimit(t *testing.T) {
+	cfg := fastSwitch()
+	cfg.MaxTunnels = 2
+	a, err := NewSwitchAgent("s1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ctl, err := NewController(map[string]string{"s1": a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	installs := []TunnelInstall{
+		{Switch: "s1", TunnelID: 1}, {Switch: "s1", TunnelID: 2}, {Switch: "s1", TunnelID: 3},
+	}
+	if _, err := ctl.InstallTunnels(installs); err == nil {
+		t.Fatal("exceeding the tunnel table should fail")
+	}
+	if got := a.NumTunnels(); got != 2 {
+		t.Fatalf("table = %d, want 2", got)
+	}
+}
+
+func TestUpdateRates(t *testing.T) {
+	a, err := NewSwitchAgent("s1", fastSwitch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ctl, err := NewController(map[string]string{"s1": a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	if _, err := ctl.UpdateRates(map[string]float64{"t1": 5.5, "t2": 2.25}); err != nil {
+		t.Fatal(err)
+	}
+	rates := a.Rates()
+	if rates["t1"] != 5.5 || rates["t2"] != 2.25 {
+		t.Fatalf("rates = %v", rates)
+	}
+}
+
+// TestInstallScalingLinear verifies Fig 11b's shape: serialized installs
+// make wall time roughly linear in tunnel count.
+func TestInstallScalingLinear(t *testing.T) {
+	res, err := MeasureInstallScaling(fastSwitch(), []int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d4, d8 := res[1], res[4], res[8]
+	if d4 < 2*d1 {
+		t.Errorf("4 tunnels (%v) should take well over 2x one tunnel (%v)", d4, d1)
+	}
+	if d8 < d4 {
+		t.Errorf("8 tunnels (%v) faster than 4 (%v)", d8, d4)
+	}
+	// linearity: d8/d4 within a factor band of 2
+	ratio := float64(d8) / float64(d4)
+	if ratio < 1.3 || ratio > 3.5 {
+		t.Errorf("d8/d4 = %v, expected roughly 2 (linear scaling)", ratio)
+	}
+}
+
+// TestRunScenario runs the full §5 pipeline on loopback and checks the
+// Fig 11a structure: every stage measured, tunnel update dominant, and the
+// switch state actually updated.
+func TestRunScenario(t *testing.T) {
+	tb, err := NewTestbed(fastSwitch(), func(f optical.Features) float64 {
+		if f.DegreeDB <= 0 {
+			t.Errorf("predictor got empty features: %+v", f)
+		}
+		return 0.8
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	timing, err := tb.RunScenario(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.TunnelUpdate <= 0 || timing.TECompute <= 0 || timing.ScenarioRegen <= 0 {
+		t.Fatalf("missing stage timings: %+v", timing)
+	}
+	if timing.Total() <= 0 {
+		t.Fatal("zero total")
+	}
+	// the new tunnel must be on the switch
+	installed := 0
+	for _, a := range tb.Agents {
+		installed += a.NumTunnels()
+	}
+	if installed == 0 {
+		t.Fatal("no tunnels installed on any agent")
+	}
+	// rate adaptation pushed
+	if len(tb.Agents[0].Rates()) == 0 {
+		t.Fatal("no rates installed")
+	}
+}
+
+func TestPipelineTotal(t *testing.T) {
+	p := PipelineTiming{
+		Detection: 1, Inference: 2, TunnelUpdate: 3,
+		ScenarioRegen: 4, TECompute: 5, RateInstall: 6,
+	}
+	if p.Total() != 21 {
+		t.Fatalf("total = %v", p.Total())
+	}
+}

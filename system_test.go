@@ -1,0 +1,214 @@
+package prete
+
+import (
+	"sync"
+	"testing"
+
+	"prete/internal/optical"
+	"prete/internal/stats"
+)
+
+func b4System(t *testing.T) *System {
+	t.Helper()
+	net, err := LoadTopology("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Scenario.MaxScenarios = 150
+	sys, err := NewSystem(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil, DefaultConfig()); err == nil {
+		t.Error("nil network accepted")
+	}
+	net, _ := LoadTopology("B4")
+	bad := DefaultConfig()
+	bad.Beta = 1
+	if _, err := NewSystem(net, bad); err == nil {
+		t.Error("beta = 1 accepted")
+	}
+	bad = DefaultConfig()
+	bad.StaticPI = []float64{0.1}
+	if _, err := NewSystem(net, bad); err == nil {
+		t.Error("mismatched StaticPI accepted")
+	}
+}
+
+func TestSystemTopologyAndTunnels(t *testing.T) {
+	sys := b4System(t)
+	if got := sys.Tunnels().NumTunnels(); got != 208 {
+		t.Fatalf("tunnels = %d, want 208 (Table 3)", got)
+	}
+	if got := len(sys.Flows()); got != 52 {
+		t.Fatalf("flows = %d, want 52", got)
+	}
+}
+
+// degradedSample fabricates a telemetry sample with the given excess loss.
+func degradedSample(at int64, excess float64) Sample {
+	return Sample{
+		UnixS: at, TxDBm: optical.TxPowerDBm,
+		RxDBm:  optical.TxPowerDBm - 22 - excess,
+		LossDB: 22 + excess, ExcessDB: excess,
+		State: optical.Classify(excess),
+	}
+}
+
+func TestObserveLifecycle(t *testing.T) {
+	sys := b4System(t)
+	// Fiber 2 shares no conduit on B4, so exactly one signal results from
+	// two confirmed degraded samples.
+	if _, err := sys.Observe(2, degradedSample(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Observe(2, degradedSample(2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	sigs := sys.ActiveSignals()
+	if len(sigs) != 1 || sigs[0].Fiber != 2 {
+		t.Fatalf("signals = %+v", sigs)
+	}
+	// default predictor fallback is the measured 0.40
+	if sigs[0].PNN != 0.40 {
+		t.Fatalf("fallback PNN = %v, want 0.40", sigs[0].PNN)
+	}
+	// recovery clears it
+	sys.Observe(2, degradedSample(3, 0))
+	sys.Observe(2, degradedSample(4, 0))
+	if got := sys.ActiveSignals(); len(got) != 0 {
+		t.Fatalf("signals after recovery = %+v", got)
+	}
+	if _, err := sys.Observe(99, degradedSample(1, 0)); err == nil {
+		t.Fatal("out-of-range fiber accepted")
+	}
+}
+
+func TestObserveConduitPropagation(t *testing.T) {
+	// B4's builder pairs fibers 0 and 1 into one conduit (§3.1: fibers in
+	// one conduit are a single degradation entity).
+	sys := b4System(t)
+	sys.Observe(0, degradedSample(1, 5))
+	sys.Observe(0, degradedSample(2, 5))
+	sigs := sys.ActiveSignals()
+	if len(sigs) != 2 {
+		t.Fatalf("conduit-mates should both be signaled, got %+v", sigs)
+	}
+	// recovery clears the whole group
+	sys.Observe(0, degradedSample(3, 0))
+	sys.Observe(0, degradedSample(4, 0))
+	if got := sys.ActiveSignals(); len(got) != 0 {
+		t.Fatalf("signals after recovery = %+v", got)
+	}
+}
+
+type constPredictor float64
+
+func (c constPredictor) PredictProb(Features) float64 { return float64(c) }
+func (c constPredictor) Name() string                 { return "const" }
+
+func TestObserveUsesPredictor(t *testing.T) {
+	sys := b4System(t)
+	sys.SetPredictor(constPredictor(0.77))
+	sys.Observe(2, degradedSample(1, 6))
+	sys.Observe(2, degradedSample(2, 6))
+	sigs := sys.ActiveSignals()
+	if len(sigs) != 1 || sigs[0].PNN != 0.77 {
+		t.Fatalf("signals = %+v", sigs)
+	}
+	sys.ClearSignals()
+	if len(sys.ActiveSignals()) != 0 {
+		t.Fatal("ClearSignals did not clear")
+	}
+}
+
+func TestPlanEpochQuietAndDegraded(t *testing.T) {
+	sys := b4System(t)
+	demands := make(Demands, len(sys.Flows()))
+	for i := range demands {
+		demands[i] = 30
+	}
+	quiet, err := sys.PlanEpoch(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Update != nil {
+		t.Fatal("quiet epoch established tunnels")
+	}
+	if quiet.Plan.MaxLoss > 1e-6 {
+		t.Fatalf("quiet-epoch loss = %v at light load", quiet.Plan.MaxLoss)
+	}
+	// now with an active degradation
+	sys.SetPredictor(constPredictor(0.9))
+	sys.Observe(2, degradedSample(1, 6))
+	sys.Observe(2, degradedSample(2, 6))
+	deg, err := sys.PlanEpoch(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Update == nil || deg.Update.NewTunnels == 0 {
+		t.Fatal("degraded epoch did not establish tunnels")
+	}
+	if deg.Calibrated[2] != 0.9 {
+		t.Fatalf("calibrated p = %v, want the predictor output", deg.Calibrated[2])
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	sys := b4System(t)
+	rng := stats.NewRNG(1)
+	seeds := make([]uint64, 8)
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+	var wg sync.WaitGroup
+	for f := 0; f < 8; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			local := stats.NewRNG(seeds[f])
+			for i := 0; i < 200; i++ {
+				excess := 0.0
+				if local.Bernoulli(0.1) {
+					excess = 6
+				}
+				if _, err := sys.Observe(FiberID(f), degradedSample(int64(i), excess)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+}
+
+func TestPublicHelpers(t *testing.T) {
+	net, err := LoadTopology("IBM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := DefaultFlows(net)
+	ts, err := BuildTunnels(net, flows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NumTunnels() != 340 {
+		t.Fatalf("IBM tunnels = %d", ts.NumTunnels())
+	}
+	tr, err := GenerateTrace(net, 7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Episodes) == 0 {
+		t.Fatal("empty trace")
+	}
+	det := NewDetector(1)
+	if det == nil {
+		t.Fatal("nil detector")
+	}
+}
