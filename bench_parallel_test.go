@@ -1,0 +1,187 @@
+package prete
+
+// Serial-vs-parallel benchmark pairs for the three hot paths the internal/par
+// engine drives: failure-equivalence class construction, the Fig 13-scale
+// evaluation sweep, and the batch telemetry pipeline. Every benchmark runs
+// the same work at Parallelism=1 (the serial path: a plain loop on the
+// calling goroutine) and Parallelism=GOMAXPROCS, so
+//
+//	go test -bench=BenchmarkParallel -benchmem
+//
+// prints the speedup directly. On a single-core machine the pair is expected
+// to tie (the parallel path adds only goroutine bookkeeping); see
+// EXPERIMENTS.md for measured numbers.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"prete/internal/core"
+	"prete/internal/experiments"
+	"prete/internal/optical"
+	"prete/internal/routing"
+	"prete/internal/scenario"
+	"prete/internal/sim"
+	"prete/internal/stats"
+	"prete/internal/te"
+	"prete/internal/telemetry"
+	"prete/internal/topology"
+)
+
+// parLevels returns the serial/parallel pair every BenchmarkParallel* runs.
+func parLevels() []int { return []int{1, runtime.GOMAXPROCS(0)} }
+
+// BenchmarkParallelBuildClasses measures per-flow class construction on IBM
+// with a 600-scenario set.
+func BenchmarkParallelBuildClasses(b *testing.B) {
+	net, err := topology.IBM()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := routing.BuildTunnels(net, routing.Flows(net), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	probs := make([]float64, len(net.Fibers))
+	for i := range probs {
+		probs[i] = 0.001 + 0.02*rng.Float64()
+	}
+	set, err := scenario.Enumerate(probs, scenario.Options{Cutoff: 1e-9, MaxFailures: 2, MaxScenarios: 600})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range parLevels() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if classes := core.BuildClassesP(ts, set, p); len(classes) == 0 {
+					b.Fatal("no classes")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelBendersIBM measures the full Benders solve on IBM with
+// the optimizer's internal fan-out (class construction, structural cuts,
+// subproblem coverage rows) at each level.
+func BenchmarkParallelBendersIBM(b *testing.B) {
+	net, err := topology.IBM()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := routing.BuildTunnels(net, routing.Flows(net), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(7)
+	w := stats.Weibull{Shape: 0.8, Scale: 0.002}
+	pi := make([]float64, len(net.Fibers))
+	for i := range pi {
+		pi[i] = 1.6 * w.Sample(rng)
+		if pi[i] > 0.05 {
+			pi[i] = 0.05
+		}
+	}
+	demands := make(te.Demands, len(ts.Flows))
+	for i := range demands {
+		demands[i] = 60
+	}
+	for _, p := range parLevels() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			eng := core.New()
+			eng.ScenarioOpts.MaxScenarios = 300
+			eng.Opt.Parallelism = p
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.PlanEpoch(core.EpochInput{
+					Net: net, Tunnels: ts, Demands: demands, Beta: 0.99, PI: pi,
+					Signals: []core.DegradationSignal{{Fiber: 3, PNN: 0.5}},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelEvaluate measures one PreTE availability evaluation on
+// B4 — the per-degradation-scenario fan-out inside the evaluator.
+func BenchmarkParallelEvaluate(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.ScenarioOpts.MaxScenarios = 120
+	cfg.MaxDegScenarios = 6
+	env, err := sim.BuildEnv("B4", 2025, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range parLevels() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			pcfg := cfg
+			pcfg.Parallelism = p
+			for i := 0; i < b.N; i++ {
+				// Fresh evaluator per iteration: plan caches would otherwise
+				// collapse later iterations to pure accumulation.
+				ev := sim.NewEvaluator(env, pcfg)
+				if _, err := ev.Evaluate("PreTE", 1.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelExpFig13 measures the full Fig 13 sweep (the per-(scheme,
+// scale, topology) evaluation matrix) in Quick mode — the PR's headline
+// end-to-end speedup target.
+func BenchmarkParallelExpFig13(b *testing.B) {
+	for _, p := range parLevels() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			opts := experiments.Options{Seed: 2025, Quick: true, Parallelism: p}
+			for i := 0; i < b.N; i++ {
+				if err := experiments.Run("fig13", io.Discard, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelTelemetryBatch measures the per-fiber batch pipeline
+// (interpolate, detect, extract features) over a 64-fiber TWAN slice with
+// 10-minute series.
+func BenchmarkParallelTelemetryBatch(b *testing.B) {
+	net, err := topology.TWAN(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nFibers := len(net.Fibers)
+	if nFibers > 64 {
+		nFibers = 64
+	}
+	series := make([]telemetry.FiberSeries, nFibers)
+	for i := 0; i < nFibers; i++ {
+		rng := stats.SubRNG(9, uint64(i))
+		fsim := optical.NewFiberSim(net.Fibers[i].LengthKm, rng)
+		samples, err := fsim.EpisodeSeries(optical.DegradationProfile{
+			DegreeDB: 4 + 4*rng.Float64(), GradientDB: 0.05,
+			FluctAmpDB: 0.3, FluctPeriodS: 20,
+			DurationS: 480, LeadsToCut: i%3 == 0, CutDelayS: 400, RepairS: 60,
+			OnsetUnixS: 1700000000 + int64(i)*11, MissingSample: 0.05,
+		}, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series[i] = telemetry.FiberSeries{Fiber: i, Samples: samples}
+	}
+	for _, p := range parLevels() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := telemetry.ProcessBatch(net, series, 2, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

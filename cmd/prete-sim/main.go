@@ -22,6 +22,7 @@ func main() {
 		quick = flag.Bool("quick", false, "reduced fidelity for fast runs")
 		list  = flag.Bool("list", false, "list available experiments")
 		all   = flag.Bool("all", false, "run every experiment")
+		par   = flag.Int("p", 0, "worker parallelism (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	)
 	flag.Parse()
 
@@ -31,7 +32,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *par}
 	switch {
 	case *all:
 		for _, id := range experiments.IDs() {

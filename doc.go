@@ -21,6 +21,7 @@
 //	// feed telemetry samples; PlanEpoch when the TE period ticks
 //	plan, _ := sys.PlanEpoch(demands)
 //
-// See examples/quickstart for the full walkthrough and DESIGN.md for the
-// system inventory.
+// See examples/quickstart for the full walkthrough, ARCHITECTURE.md for the
+// package map and the parallel execution engine (internal/par and the
+// Parallelism knobs), and DESIGN.md for the system inventory.
 package prete

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"prete/internal/lp"
+	"prete/internal/par"
 	"prete/internal/routing"
 	"prete/internal/scenario"
 	"prete/internal/te"
@@ -23,33 +24,53 @@ type Class struct {
 }
 
 // BuildClasses groups a scenario set into per-flow failure-equivalence
-// classes.
+// classes, serially. It is BuildClassesP at parallelism 1.
 func BuildClasses(ts *routing.TunnelSet, set *scenario.Set) []Class {
+	return BuildClassesP(ts, set, 1)
+}
+
+// BuildClassesP is the parallel form of BuildClasses: flows are independent,
+// so each worker builds one flow's classes and the per-flow lists are
+// concatenated in flow order — the exact order the serial loop produces, so
+// the result is bit-identical at every parallelism level (<= 0 means
+// GOMAXPROCS).
+func BuildClassesP(ts *routing.TunnelSet, set *scenario.Set, parallelism int) []Class {
+	perFlow := par.Map(len(ts.Flows), parallelism, func(i int) []Class {
+		return buildFlowClasses(ts, set, ts.Flows[i].ID)
+	})
 	var out []Class
-	for _, fl := range ts.Flows {
-		tids := ts.TunnelsOf(fl.ID)
-		byKey := make(map[string]*Class)
-		var order []string
-		for _, sc := range set.Scenarios {
-			cut := sc.CutSet()
-			var avail []routing.TunnelID
-			for _, tid := range tids {
-				if ts.Tunnel(tid).AvailableUnder(cut) {
-					avail = append(avail, tid)
-				}
+	for _, classes := range perFlow {
+		out = append(out, classes...)
+	}
+	return out
+}
+
+// buildFlowClasses merges the scenario set into one flow's equivalence
+// classes, in first-seen scenario order.
+func buildFlowClasses(ts *routing.TunnelSet, set *scenario.Set, flow routing.FlowID) []Class {
+	tids := ts.TunnelsOf(flow)
+	byKey := make(map[string]*Class)
+	var order []string
+	for _, sc := range set.Scenarios {
+		cut := sc.CutSet()
+		var avail []routing.TunnelID
+		for _, tid := range tids {
+			if ts.Tunnel(tid).AvailableUnder(cut) {
+				avail = append(avail, tid)
 			}
-			key := tunnelKey(avail)
-			c, ok := byKey[key]
-			if !ok {
-				c = &Class{Flow: fl.ID, Avail: avail}
-				byKey[key] = c
-				order = append(order, key)
-			}
-			c.Prob += sc.Prob
 		}
-		for _, k := range order {
-			out = append(out, *byKey[k])
+		key := tunnelKey(avail)
+		c, ok := byKey[key]
+		if !ok {
+			c = &Class{Flow: flow, Avail: avail}
+			byKey[key] = c
+			order = append(order, key)
 		}
+		c.Prob += sc.Prob
+	}
+	out := make([]Class, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
 	}
 	return out
 }
@@ -105,6 +126,13 @@ type Optimizer struct {
 	// DisablePolish skips the satisfaction-maximizing re-solve (ablation
 	// knob: allocations then stop at exactly (1-Phi)d per flow).
 	DisablePolish bool
+	// Parallelism bounds the worker count of the optimizer's parallel
+	// stages (per-flow class construction, structural-cut seeding, and
+	// subproblem row assembly): <= 0 selects runtime.GOMAXPROCS(0), 1
+	// forces the serial path. Results are bit-identical at every setting —
+	// work is partitioned by index and merged in a fixed order (see
+	// internal/par).
+	Parallelism int
 }
 
 // DefaultOptimizer returns production-ish settings.
@@ -131,7 +159,7 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 	if in.Scenarios == nil || len(in.Scenarios.Scenarios) == 0 {
 		return nil, fmt.Errorf("core: no failure scenarios")
 	}
-	classes := BuildClasses(in.Tunnels, in.Scenarios)
+	classes := BuildClassesP(in.Tunnels, in.Scenarios, o.Parallelism)
 	// Feasibility of constraint (5): every flow must be able to reach beta.
 	perFlowMass := make(map[routing.FlowID]float64)
 	for _, c := range classes {
@@ -152,8 +180,12 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 	// per hopeless class.
 	var cuts []bendersCut
 	if !o.DisableStructuralCuts {
-		for ci, c := range classes {
-			m := classMinLoss(in, c)
+		// Each class's bound is independent of the others, so the bottleneck
+		// scans fan out; cut assembly stays in class order.
+		minLoss := par.Map(len(classes), o.Parallelism, func(ci int) float64 {
+			return classMinLoss(in, classes[ci])
+		})
+		for ci, m := range minLoss {
 			if m <= 0 {
 				continue
 			}
@@ -362,25 +394,35 @@ func (o *Optimizer) solveSubproblem(in *te.Input, classes []Class, delta []bool)
 		}
 		capRows = append(capRows, capRow{row: row, cap: c})
 	}
-	// Constraint (4) for selected classes: sum a + d*phi >= d.
+	// Constraint (4) for selected classes: sum a + d*phi >= d. The per-class
+	// term lists are assembled in parallel (tunnelVar is read-only by now);
+	// rows are added to the LP in class order so the tableau — and the
+	// simplex pivot sequence — is identical at every parallelism level.
 	type covRow struct {
 		class int
 		row   int
 	}
-	var covRows []covRow
-	for ci, c := range classes {
+	covTerms := par.Map(len(classes), o.Parallelism, func(ci int) []lp.Term {
 		if !delta[ci] {
-			continue
+			return nil
 		}
-		d := in.Demands[c.Flow]
+		d := in.Demands[classes[ci].Flow]
 		if d <= 0 {
-			continue
+			return nil
 		}
-		terms := []lp.Term{{Var: phi, Coeff: d}}
-		for _, tid := range c.Avail {
+		terms := make([]lp.Term, 0, 1+len(classes[ci].Avail))
+		terms = append(terms, lp.Term{Var: phi, Coeff: d})
+		for _, tid := range classes[ci].Avail {
 			terms = append(terms, lp.Term{Var: tunnelVar[tid], Coeff: 1})
 		}
-		row, err := prob.AddConstraint(terms, lp.GE, d, fmt.Sprintf("cov_c%d", ci))
+		return terms
+	})
+	var covRows []covRow
+	for ci, terms := range covTerms {
+		if terms == nil {
+			continue
+		}
+		row, err := prob.AddConstraint(terms, lp.GE, in.Demands[classes[ci].Flow], fmt.Sprintf("cov_c%d", ci))
 		if err != nil {
 			return nil, err
 		}

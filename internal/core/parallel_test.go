@@ -1,0 +1,92 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"prete/internal/routing"
+	"prete/internal/scenario"
+	"prete/internal/stats"
+	"prete/internal/te"
+	"prete/internal/topology"
+)
+
+// realInput builds a full-topology optimizer input with per-fiber failure
+// probabilities drawn from a seeded RNG, at the scale the determinism table
+// exercises.
+func realInput(t *testing.T, topo string, seed uint64) *te.Input {
+	t.Helper()
+	net, err := topology.ByName(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := routing.BuildTunnels(net, routing.Flows(net), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(seed)
+	probs := make([]float64, len(net.Fibers))
+	for i := range probs {
+		probs[i] = 0.001 + 0.02*rng.Float64()
+	}
+	set, err := scenario.Enumerate(probs, scenario.Options{Cutoff: 1e-9, MaxFailures: 2, MaxScenarios: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := make(te.Demands, len(ts.Flows))
+	for i := range demands {
+		demands[i] = 20 + 10*rng.Float64()
+	}
+	return &te.Input{Net: net, Tunnels: ts, Demands: demands, Scenarios: set, Beta: 0.99}
+}
+
+func TestBuildClassesParallelMatchesSerial(t *testing.T) {
+	for _, topo := range []string{"B4", "IBM"} {
+		in := realInput(t, topo, 11)
+		want := BuildClassesP(in.Tunnels, in.Scenarios, 1)
+		for _, p := range []int{2, 8, 0} {
+			got := BuildClassesP(in.Tunnels, in.Scenarios, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: BuildClassesP(%d) diverges from serial (%d vs %d classes)",
+					topo, p, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestSolveDeterministicAcrossParallelism is the PR's headline guarantee:
+// the Benders solve returns bit-identical results — allocation, objective,
+// bounds, iteration count, and scenario selection — at every parallelism
+// setting, on both evaluation topologies.
+func TestSolveDeterministicAcrossParallelism(t *testing.T) {
+	for _, topo := range []string{"B4", "IBM"} {
+		in := realInput(t, topo, 23)
+		serial := DefaultOptimizer()
+		serial.Parallelism = 1
+		want, err := serial.Solve(in)
+		if err != nil {
+			t.Fatalf("%s serial: %v", topo, err)
+		}
+		for _, p := range []int{2, 8, 0} {
+			opt := DefaultOptimizer()
+			opt.Parallelism = p
+			got, err := opt.Solve(in)
+			if err != nil {
+				t.Fatalf("%s parallelism %d: %v", topo, p, err)
+			}
+			if !reflect.DeepEqual(got.Alloc, want.Alloc) {
+				t.Errorf("%s parallelism %d: allocation diverges", topo, p)
+			}
+			if got.Phi != want.Phi || got.LB != want.LB || got.UB != want.UB {
+				t.Errorf("%s parallelism %d: phi/LB/UB = %v/%v/%v, want %v/%v/%v",
+					topo, p, got.Phi, got.LB, got.UB, want.Phi, want.LB, want.UB)
+			}
+			if got.Iterations != want.Iterations {
+				t.Errorf("%s parallelism %d: %d iterations, want %d", topo, p, got.Iterations, want.Iterations)
+			}
+			if !reflect.DeepEqual(got.Selected, want.Selected) {
+				t.Errorf("%s parallelism %d: scenario selection diverges", topo, p)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"prete/internal/core"
+	"prete/internal/par"
 	"prete/internal/routing"
 	"prete/internal/sim"
 	"prete/internal/stats"
@@ -31,11 +32,37 @@ func evalConfig(opts Options) sim.Config {
 	// scenarios and failure scenarios to pin the shapes, not the tails.
 	cfg.ScenarioOpts.MaxScenarios = 250
 	cfg.MaxDegScenarios = 6
+	cfg.Parallelism = opts.Parallelism
 	if opts.Quick {
 		cfg.ScenarioOpts.MaxScenarios = 120
 		cfg.MaxDegScenarios = 4
 	}
 	return cfg
+}
+
+// evalGrid fills the (scheme, scale) availability matrix of one evaluator,
+// fanning the independent cells across workers. Results land in an
+// index-addressed grid (grid[si][ci] for schemes[si] at scales[ci]), so
+// callers print rows in a fixed order and the output is byte-identical at
+// every parallelism level. Cell evaluations also share the evaluator's
+// post-failure plan caches, which the evaluator guards internally.
+func evalGrid(ev *sim.Evaluator, schemes []string, scales []float64, parallelism int) ([][]sim.Availability, error) {
+	flat, err := par.MapErr(len(schemes)*len(scales), parallelism, func(i int) (sim.Availability, error) {
+		scheme, scale := schemes[i/len(scales)], scales[i%len(scales)]
+		a, err := ev.Evaluate(scheme, scale)
+		if err != nil {
+			return sim.Availability{}, fmt.Errorf("%s@%v: %w", scheme, scale, err)
+		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	grid := make([][]sim.Availability, len(schemes))
+	for si := range schemes {
+		grid[si] = flat[si*len(scales) : (si+1)*len(scales)]
+	}
+	return grid, nil
 }
 
 func sweepSpec(opts Options) (topos []string, schemes []string, scales []float64) {
@@ -49,7 +76,9 @@ func sweepSpec(opts Options) (topos []string, schemes []string, scales []float64
 		[]float64{1, 2.5, 4, 6}
 }
 
-// fig13 sweeps demand scales across topologies and schemes.
+// fig13 sweeps demand scales across topologies and schemes. The (scheme,
+// scale) cells of each topology are independent, so they fan out across
+// workers; rows print from the merged grid in sweep order.
 func fig13(w io.Writer, opts Options) error {
 	cfg := evalConfig(opts)
 	topos, schemes, scales := sweepSpec(opts)
@@ -59,13 +88,13 @@ func fig13(w io.Writer, opts Options) error {
 		if err != nil {
 			return err
 		}
-		ev := sim.NewEvaluator(env, cfg)
-		for _, scheme := range schemes {
-			for _, scale := range scales {
-				a, err := ev.Evaluate(scheme, scale)
-				if err != nil {
-					return fmt.Errorf("fig13 %s/%s@%v: %w", topo, scheme, scale, err)
-				}
+		grid, err := evalGrid(sim.NewEvaluator(env, cfg), schemes, scales, opts.Parallelism)
+		if err != nil {
+			return fmt.Errorf("fig13 %s/%w", topo, err)
+		}
+		for si, scheme := range schemes {
+			for ci, scale := range scales {
+				a := grid[si][ci]
 				fmt.Fprintf(w, "%s\t%s\t%.1f\t%.6f\t%.2f\n", topo, scheme, scale, a.Mean, sim.Nines(a.Mean))
 			}
 		}
@@ -109,14 +138,13 @@ func tab4(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
-	ev := sim.NewEvaluator(env, cfg)
+	cells, err := evalGrid(sim.NewEvaluator(env, cfg), schemes, scales, opts.Parallelism)
+	if err != nil {
+		return err
+	}
 	grid := make(map[string][]float64, len(schemes))
-	for _, scheme := range schemes {
-		for _, scale := range scales {
-			a, err := ev.Evaluate(scheme, scale)
-			if err != nil {
-				return err
-			}
+	for si, scheme := range schemes {
+		for _, a := range cells[si] {
 			grid[scheme] = append(grid[scheme], a.Mean)
 		}
 	}
@@ -162,14 +190,22 @@ func fig15(w io.Writer, opts Options) error {
 		sim.OracleQuality(),
 	}
 	header(w, "predictor", "scale", "availability", "nines")
-	for _, q := range qualities {
-		ev := sim.NewEvaluator(env, cfg)
-		ev.Quality = q
-		for _, scale := range scales {
-			a, err := ev.Evaluate("PreTE", scale)
-			if err != nil {
-				return err
-			}
+	// One evaluator per predictor quality; the (quality, scale) cells are
+	// independent and fan out, printing from the merged grid in order.
+	evs := make([]*sim.Evaluator, len(qualities))
+	for qi, q := range qualities {
+		evs[qi] = sim.NewEvaluator(env, cfg)
+		evs[qi].Quality = q
+	}
+	grid, err := par.MapErr(len(qualities)*len(scales), opts.Parallelism, func(i int) (sim.Availability, error) {
+		return evs[i/len(scales)].Evaluate("PreTE", scales[i%len(scales)])
+	})
+	if err != nil {
+		return err
+	}
+	for qi, q := range qualities {
+		for ci, scale := range scales {
+			a := grid[qi*len(scales)+ci]
 			fmt.Fprintf(w, "%s\t%.1f\t%.6f\t%.2f\n", q.Name, scale, a.Mean, sim.Nines(a.Mean))
 		}
 	}

@@ -18,6 +18,13 @@ type Options struct {
 	// shorter training) — what the benchmarks use so `go test -bench` stays
 	// tractable; the CLI default is the full configuration.
 	Quick bool
+	// Parallelism bounds the worker count of the parallel sweeps (the
+	// (scheme, scale) evaluation matrices and the per-scenario fan-out
+	// inside each evaluation): <= 0 selects runtime.GOMAXPROCS(0), 1
+	// forces the serial path. Output is byte-identical at every setting —
+	// cells are computed into an index-addressed grid and printed in row
+	// order (see internal/par).
+	Parallelism int
 }
 
 // Func runs one experiment, writing its table/series to w.

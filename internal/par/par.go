@@ -1,0 +1,120 @@
+// Package par is the concurrency layer of the repository: a bounded worker
+// pool with deterministic, index-ordered fan-out/merge semantics. Every hot
+// path that parallelizes — failure-equivalence-class construction and
+// structural-cut seeding in internal/core, the degradation-scenario and
+// (scheme, scale) sweeps in internal/sim and internal/experiments, and the
+// per-fiber telemetry batch pipeline in internal/telemetry — goes through
+// this package, so the determinism argument lives in one place:
+//
+//   - Work is partitioned by index; workers pull indices from a shared
+//     atomic counter, so scheduling is dynamic but the unit of work a task
+//     index denotes is fixed.
+//   - Results are written into index-addressed slots and merged (summed,
+//     concatenated, printed, ...) by the caller in index order, never in
+//     completion order.
+//   - Tasks must not share mutable state; a task needing randomness derives
+//     a seeded sub-RNG from its index (stats.SubRNG), never a shared stream.
+//
+// Under those rules the output of any helper here is bit-identical for
+// every parallelism level, including 1 — which is exactly what the
+// equivalence tests in core, sim, and telemetry assert.
+//
+// The parallelism knobs on core.Optimizer, sim.Config, prete.Config, and
+// experiments.Options all funnel into Limit: values <= 0 select
+// runtime.GOMAXPROCS(0) (the default everywhere), 1 forces the serial path,
+// and larger values bound the worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Limit resolves a Parallelism knob to a concrete worker count: values
+// <= 0 mean "use the hardware", i.e. runtime.GOMAXPROCS(0).
+func Limit(parallelism int) int {
+	if parallelism > 0 {
+		return parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0, n), using at most
+// Limit(parallelism) concurrent workers. With an effective limit of 1 (or
+// n <= 1) it degenerates to a plain loop on the calling goroutine — the
+// serial path is literally the same code. ForEach returns when every call
+// has completed.
+//
+// fn must write any result it produces into an index-addressed slot; the
+// caller merges slots in index order to stay deterministic.
+func ForEach(n, parallelism int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	limit := Limit(parallelism)
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(limit)
+	for w := 0; w < limit; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map computes out[i] = fn(i) for i in [0, n) with at most
+// Limit(parallelism) workers and returns the results in index order.
+func Map[T any](n, parallelism int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, parallelism, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible tasks. Every task runs to completion (no
+// cancellation, so the result slice is fully populated for the indices
+// that succeeded); the returned error is the lowest-index failure, which
+// makes error reporting independent of scheduling order too.
+func MapErr[T any](n, parallelism int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, parallelism, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// SumVectors adds per-task partial vectors in task-index order, so the
+// floating-point accumulation order — and therefore the result, bit for
+// bit — is independent of which worker produced which partial. Nil
+// partials (skipped tasks) are ignored. All non-nil partials must have
+// length n.
+func SumVectors(partials [][]float64, n int) []float64 {
+	out := make([]float64, n)
+	for _, p := range partials {
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	return out
+}

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"prete/internal/core"
+	"prete/internal/par"
 	"prete/internal/routing"
 	"prete/internal/scenario"
 	"prete/internal/te"
@@ -29,7 +31,11 @@ func OracleQuality() PredictorQuality {
 // NNQuality approximates the paper's NN (Table 5: P = R = 0.81).
 func NNQuality() PredictorQuality { return PredictorQuality{Name: "NN", PHatFail: 0.81, PHatOK: 0.19} }
 
-// Evaluator measures a scheme's availability in an environment.
+// Evaluator measures a scheme's availability in an environment. The
+// degradation-scenario loop fans out across Cfg.Parallelism workers; each
+// scenario's contribution is accumulated into its own partial vector and
+// the partials are summed in scenario order, so the result is bit-identical
+// at every parallelism level.
 type Evaluator struct {
 	Env *Env
 	Cfg Config
@@ -37,7 +43,11 @@ type Evaluator struct {
 	// static schemes.
 	Quality PredictorQuality
 
-	// caches
+	// caches; mu guards them so concurrent scenario workers can share
+	// post-failure plans. Cache values are pure functions of their keys
+	// (the LP solver is deterministic), so a racing duplicate computation
+	// produces the same plan and determinism is unaffected.
+	mu             sync.Mutex
 	recomputeCache map[string]*te.Plan // Flexile post-failure plans
 	oracleCache    map[string]*te.Plan // oracle per-cut plans
 	restoreCache   map[string]*te.Plan // ARROW post-restoration plans
@@ -107,6 +117,7 @@ func (ev *Evaluator) staticPlan(schemeName string, demands te.Demands) (*te.Plan
 		return te.FFC{K: 2}.Plan(in)
 	case "TeaVar":
 		tv := core.NewTeaVar()
+		tv.Opt.Parallelism = ev.Cfg.Parallelism
 		ep, err := tv.PlanEpoch(core.EpochInput{
 			Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
 			Beta: ev.Cfg.Beta, PI: ev.Env.PI,
@@ -124,28 +135,38 @@ func (ev *Evaluator) staticPlan(schemeName string, demands te.Demands) (*te.Plan
 }
 
 // evaluateStatic handles schemes whose plan ignores degradation signals.
+// Degradation scenarios are independent given the (single) pre-failure
+// plan, so they fan out; each worker fills a per-scenario partial vector
+// and the partials merge in scenario order.
 func (ev *Evaluator) evaluateStatic(schemeName string, planned, truth te.Demands) (Availability, error) {
 	plan, err := ev.staticPlan(schemeName, planned)
 	if err != nil {
 		return Availability{}, err
 	}
-	perFlow := make([]float64, len(ev.Env.Tunnels.Flows))
-	for _, ds := range ev.Env.DegScenarios(ev.Cfg) {
+	nFlows := len(ev.Env.Tunnels.Flows)
+	dss := ev.Env.DegScenarios(ev.Cfg)
+	partials, err := par.MapErr(len(dss), ev.Cfg.Parallelism, func(di int) ([]float64, error) {
+		ds := dss[di]
 		probs := ev.Env.TruthProbs(ev.Cfg, ds.Fiber)
 		fs, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
 		if err != nil {
-			return Availability{}, err
+			return nil, err
 		}
+		part := make([]float64, nFlows)
 		for _, q := range fs.Scenarios {
 			cut := q.CutSet()
-			for fi := range perFlow {
+			for fi := range part {
 				credit := ev.credit(schemeName, plan, planned, truth, routing.FlowID(fi), cut)
-				perFlow[fi] += ds.Prob * q.Prob * credit
+				part[fi] += ds.Prob * q.Prob * credit
 			}
 		}
 		// the un-enumerated failure tail counts as loss for every flow
+		return part, nil
+	})
+	if err != nil {
+		return Availability{}, err
 	}
-	return summarize(perFlow), nil
+	return summarize(par.SumVectors(partials, nFlows)), nil
 }
 
 // credit returns the fraction of the epoch during which the flow's full
@@ -188,23 +209,43 @@ func (ev *Evaluator) credit(schemeName string, plan *te.Plan, planned, truth te.
 	}
 }
 
+// cached returns the plan stored under key in cache, computing and storing
+// it via build on a miss. Concurrent workers may duplicate a miss; the
+// deterministic build makes both results identical, and the first store
+// wins so every later reader sees one canonical *te.Plan.
+func (ev *Evaluator) cached(cache map[string]*te.Plan, key string, build func() *te.Plan) *te.Plan {
+	ev.mu.Lock()
+	p, ok := cache[key]
+	ev.mu.Unlock()
+	if ok {
+		return p
+	}
+	p = build()
+	ev.mu.Lock()
+	if prev, ok := cache[key]; ok {
+		p = prev
+	} else {
+		cache[key] = p
+	}
+	ev.mu.Unlock()
+	return p
+}
+
 // flexileRecompute returns (and caches) the post-failure optimal plan.
 func (ev *Evaluator) flexileRecompute(demands te.Demands, cut map[topology.FiberID]bool) *te.Plan {
 	key := cutKey(cut) + fmt.Sprintf("|%f", demands[0])
-	if p, ok := ev.recomputeCache[key]; ok {
+	return ev.cached(ev.recomputeCache, key, func() *te.Plan {
+		in := &te.Input{
+			Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
+			Scenarios: &scenario.Set{Scenarios: []scenario.Scenario{{Prob: 1}}, Covered: 1},
+			Beta:      ev.Cfg.Beta,
+		}
+		p, err := te.Flexile{}.Recompute(in, cut)
+		if err != nil {
+			p = nil
+		}
 		return p
-	}
-	in := &te.Input{
-		Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
-		Scenarios: &scenario.Set{Scenarios: []scenario.Scenario{{Prob: 1}}, Covered: 1},
-		Beta:      ev.Cfg.Beta,
-	}
-	p, err := te.Flexile{}.Recompute(in, cut)
-	if err != nil {
-		p = nil
-	}
-	ev.recomputeCache[key] = p
-	return p
+	})
 }
 
 // arrowRestore returns (and caches) the plan on the partially restored
@@ -212,29 +253,27 @@ func (ev *Evaluator) flexileRecompute(demands te.Demands, cut map[topology.Fiber
 // their capacity.
 func (ev *Evaluator) arrowRestore(demands te.Demands, cut map[topology.FiberID]bool) *te.Plan {
 	key := "arrow|" + cutKey(cut) + fmt.Sprintf("|%f", demands[0])
-	if p, ok := ev.restoreCache[key]; ok {
+	return ev.cached(ev.restoreCache, key, func() *te.Plan {
+		caps := make(map[topology.LinkID]float64)
+		for f := range cut {
+			if !cut[f] {
+				continue
+			}
+			for _, lid := range ev.Env.Net.LinksOnFiber(f) {
+				caps[lid] = ev.Env.Net.Link(lid).Capacity * ev.Cfg.ARROWRestoreFrac
+			}
+		}
+		in := &te.Input{
+			Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
+			Scenarios: &scenario.Set{Scenarios: []scenario.Scenario{{Prob: 1}}, Covered: 1},
+			Beta:      ev.Cfg.Beta,
+		}
+		p, err := te.MinMaxLossPlanWithCaps(in, nil, caps)
+		if err != nil {
+			p = nil
+		}
 		return p
-	}
-	caps := make(map[topology.LinkID]float64)
-	for f := range cut {
-		if !cut[f] {
-			continue
-		}
-		for _, lid := range ev.Env.Net.LinksOnFiber(f) {
-			caps[lid] = ev.Env.Net.Link(lid).Capacity * ev.Cfg.ARROWRestoreFrac
-		}
-	}
-	in := &te.Input{
-		Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
-		Scenarios: &scenario.Set{Scenarios: []scenario.Scenario{{Prob: 1}}, Covered: 1},
-		Beta:      ev.Cfg.Beta,
-	}
-	p, err := te.MinMaxLossPlanWithCaps(in, nil, caps)
-	if err != nil {
-		p = nil
-	}
-	ev.restoreCache[key] = p
-	return p
+	})
 }
 
 func cutKey(cut map[topology.FiberID]bool) string {
@@ -258,29 +297,37 @@ func cutKey(cut map[topology.FiberID]bool) string {
 
 // evaluateOracle: per failure scenario, the oracle switches (ahead of the
 // failure) to the optimal plan for the post-failure topology, with new
-// tunnels for the cut fibers.
+// tunnels for the cut fibers. Degradation scenarios fan out; the per-cut
+// oracle plans are shared through the mutex-guarded cache.
 func (ev *Evaluator) evaluateOracle(planned, truth te.Demands) (Availability, error) {
-	perFlow := make([]float64, len(ev.Env.Tunnels.Flows))
-	for _, ds := range ev.Env.DegScenarios(ev.Cfg) {
+	nFlows := len(ev.Env.Tunnels.Flows)
+	dss := ev.Env.DegScenarios(ev.Cfg)
+	partials, err := par.MapErr(len(dss), ev.Cfg.Parallelism, func(di int) ([]float64, error) {
+		ds := dss[di]
 		probs := ev.Env.TruthProbs(ev.Cfg, ds.Fiber)
 		fs, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
 		if err != nil {
-			return Availability{}, err
+			return nil, err
 		}
+		part := make([]float64, nFlows)
 		for _, q := range fs.Scenarios {
 			cut := q.CutSet()
 			plan, err := ev.oraclePlan(planned, q.Cut)
 			if err != nil {
-				return Availability{}, err
+				return nil, err
 			}
-			for fi := range perFlow {
+			for fi := range part {
 				if te.Satisfied(plan, routing.FlowID(fi), truth[fi], cut) {
-					perFlow[fi] += ds.Prob * q.Prob
+					part[fi] += ds.Prob * q.Prob
 				}
 			}
 		}
+		return part, nil
+	})
+	if err != nil {
+		return Availability{}, err
 	}
-	return summarize(perFlow), nil
+	return summarize(par.SumVectors(partials, nFlows)), nil
 }
 
 func (ev *Evaluator) oraclePlan(demands te.Demands, cutList []topology.FiberID) (*te.Plan, error) {
@@ -289,7 +336,10 @@ func (ev *Evaluator) oraclePlan(demands te.Demands, cutList []topology.FiberID) 
 		cut[f] = true
 	}
 	key := cutKey(cut) + fmt.Sprintf("|%f", demands[0])
-	if p, ok := ev.oracleCache[key]; ok {
+	ev.mu.Lock()
+	p, ok := ev.oracleCache[key]
+	ev.mu.Unlock()
+	if ok {
 		return p, nil
 	}
 	// With future knowledge the oracle pre-establishes detour tunnels for
@@ -311,7 +361,13 @@ func (ev *Evaluator) oraclePlan(demands te.Demands, cutList []topology.FiberID) 
 	if err != nil {
 		return nil, err
 	}
-	ev.oracleCache[key] = p
+	ev.mu.Lock()
+	if prev, ok := ev.oracleCache[key]; ok {
+		p = prev
+	} else {
+		ev.oracleCache[key] = p
+	}
+	ev.mu.Unlock()
 	return p, nil
 }
 
@@ -324,9 +380,15 @@ func (ev *Evaluator) evaluatePreTE(planned, truth te.Demands, ratio float64) (Av
 	p.TunnelRatio = ratio
 	p.ScenarioOpts = ev.Cfg.ScenarioOpts
 	p.Alpha = ev.Cfg.Alpha
+	// The fan-out across degradation scenarios owns the worker budget; the
+	// optimizer inside each epoch plan runs serially so the two levels
+	// don't multiply goroutines. (Either choice yields identical results.)
+	p.Opt.Parallelism = 1
 
-	perFlow := make([]float64, len(ev.Env.Tunnels.Flows))
-	for _, ds := range ev.Env.DegScenarios(ev.Cfg) {
+	nFlows := len(ev.Env.Tunnels.Flows)
+	dss := ev.Env.DegScenarios(ev.Cfg)
+	partials, err := par.MapErr(len(dss), ev.Cfg.Parallelism, func(di int) ([]float64, error) {
+		ds := dss[di]
 		if ds.Fiber < 0 {
 			// Quiet epoch: calibrated plan, no signals.
 			ep, err := p.PlanEpoch(core.EpochInput{
@@ -334,14 +396,13 @@ func (ev *Evaluator) evaluatePreTE(planned, truth te.Demands, ratio float64) (Av
 				Beta: ev.Cfg.Beta, PI: ev.Env.PI,
 			})
 			if err != nil {
-				return Availability{}, err
+				return nil, err
 			}
-			if err := ev.accumulate(perFlow, ds.Prob, truth, ep.Plan, ds.Fiber, -1); err != nil {
-				return Availability{}, err
-			}
-			continue
+			return ev.accumulate(ds.Prob, truth, ep.Plan, ds.Fiber, -1)
 		}
-		// Degraded epoch: two worlds by the episode's true outcome.
+		// Degraded epoch: two worlds by the episode's true outcome, summed
+		// in world order into this scenario's partial vector.
+		part := make([]float64, nFlows)
 		for _, world := range []struct {
 			prob float64
 			pHat float64
@@ -356,18 +417,26 @@ func (ev *Evaluator) evaluatePreTE(planned, truth te.Demands, ratio float64) (Av
 				Signals: []core.DegradationSignal{{Fiber: topology.FiberID(ds.Fiber), PNN: ev.Quality.clampPHat(world.pHat)}},
 			})
 			if err != nil {
-				return Availability{}, err
+				return nil, err
 			}
 			failFiber := -1
 			if world.fail {
 				failFiber = ds.Fiber
 			}
-			if err := ev.accumulate(perFlow, ds.Prob*world.prob, truth, ep.Plan, ds.Fiber, failFiber); err != nil {
-				return Availability{}, err
+			w, err := ev.accumulate(ds.Prob*world.prob, truth, ep.Plan, ds.Fiber, failFiber)
+			if err != nil {
+				return nil, err
+			}
+			for fi, v := range w {
+				part[fi] += v
 			}
 		}
+		return part, nil
+	})
+	if err != nil {
+		return Availability{}, err
 	}
-	return summarize(perFlow), nil
+	return summarize(par.SumVectors(partials, nFlows)), nil
 }
 
 func (q PredictorQuality) clampPHat(v float64) float64 {
@@ -381,10 +450,11 @@ func (q PredictorQuality) clampPHat(v float64) float64 {
 }
 
 // accumulate integrates a plan's per-flow credit over the failure
-// scenarios of one (degradation scenario, world) branch. failFiber >= 0
-// forces that fiber to be cut (the episode truly fails); the remaining
-// fibers fail with the Theorem 4.1 residual probability.
-func (ev *Evaluator) accumulate(perFlow []float64, branchProb float64, truth te.Demands, plan *te.Plan, degFiber, failFiber int) error {
+// scenarios of one (degradation scenario, world) branch, returning the
+// branch's partial availability vector. failFiber >= 0 forces that fiber
+// to be cut (the episode truly fails); the remaining fibers fail with the
+// Theorem 4.1 residual probability.
+func (ev *Evaluator) accumulate(branchProb float64, truth te.Demands, plan *te.Plan, degFiber, failFiber int) ([]float64, error) {
 	probs := make([]float64, len(ev.Env.PI))
 	for i, p := range ev.Env.PI {
 		probs[i] = (1 - ev.Cfg.Alpha) * p
@@ -396,8 +466,9 @@ func (ev *Evaluator) accumulate(perFlow []float64, branchProb float64, truth te.
 	}
 	fs, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	perFlow := make([]float64, len(ev.Env.Tunnels.Flows))
 	for _, q := range fs.Scenarios {
 		cut := q.CutSet()
 		for fi := range perFlow {
@@ -406,5 +477,5 @@ func (ev *Evaluator) accumulate(perFlow []float64, branchProb float64, truth te.
 			}
 		}
 	}
-	return nil
+	return perFlow, nil
 }

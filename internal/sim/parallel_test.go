@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEvaluateDeterministicAcrossParallelism pins the evaluator's
+// guarantee: per-flow availability is bit-identical at every Parallelism
+// setting, for every scheme, on both evaluation topologies. Configs are
+// trimmed (fewer scenarios) so the table stays fast; determinism does not
+// depend on scale.
+func TestEvaluateDeterministicAcrossParallelism(t *testing.T) {
+	schemes := []string{"TeaVar", "ARROW", "Flexile", "PreTE", "Oracle"}
+	for _, topo := range []string{"B4", "IBM"} {
+		cfg := DefaultConfig()
+		cfg.ScenarioOpts.MaxScenarios = 60
+		cfg.MaxDegScenarios = 3
+		cfg.Parallelism = 1
+		env, err := BuildEnv(topo, 2025, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(map[string]Availability)
+		ev := NewEvaluator(env, cfg)
+		for _, s := range schemes {
+			a, err := ev.Evaluate(s, 1.5)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", topo, s, err)
+			}
+			want[s] = a
+		}
+		for _, p := range []int{2, 8} {
+			pcfg := cfg
+			pcfg.Parallelism = p
+			pev := NewEvaluator(env, pcfg)
+			for _, s := range schemes {
+				got, err := pev.Evaluate(s, 1.5)
+				if err != nil {
+					t.Fatalf("%s/%s parallelism %d: %v", topo, s, p, err)
+				}
+				if !reflect.DeepEqual(got.PerFlow, want[s].PerFlow) {
+					t.Errorf("%s/%s parallelism %d: per-flow availability diverges from serial", topo, s, p)
+				}
+				if got.Min != want[s].Min || got.Mean != want[s].Mean {
+					t.Errorf("%s/%s parallelism %d: min/mean = %v/%v, want %v/%v",
+						topo, s, p, got.Min, got.Mean, want[s].Min, want[s].Mean)
+				}
+			}
+		}
+	}
+}

@@ -49,6 +49,12 @@ type Config struct {
 	// enumerated (the most degradation-prone fibers first); the remaining
 	// mass is folded into the no-degradation scenario.
 	MaxDegScenarios int
+	// Parallelism bounds the evaluator's fan-out across degradation
+	// scenarios (and the experiment sweeps built on it): <= 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces the serial path. Availability results
+	// are bit-identical at every setting — per-scenario partial vectors are
+	// merged in scenario order (see internal/par).
+	Parallelism int
 }
 
 // DefaultConfig returns the paper-calibrated evaluation constants.

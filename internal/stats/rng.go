@@ -6,7 +6,9 @@
 //
 // Everything is implemented on top of the standard library so that the whole
 // repository builds offline, and all randomness is funneled through RNG so
-// experiments are reproducible bit-for-bit from a seed.
+// experiments are reproducible bit-for-bit from a seed. Parallel code draws
+// per-task streams via SubRNG, which depends only on (seed, task index) and
+// so keeps results identical at every parallelism level (see internal/par).
 package stats
 
 import "math"
@@ -43,6 +45,20 @@ func (r *RNG) Uint64() uint64 { return r.next() }
 // part of an experiment's reproducible identity).
 func (r *RNG) Split() *RNG {
 	return &RNG{state: r.next() ^ 0x6a09e667f3bcc909}
+}
+
+// SubRNG derives the decorrelated generator for parallel task index of a
+// computation seeded with seed. Unlike Split, the child stream depends only
+// on (seed, index) — never on call order — so workers in an internal/par
+// fan-out can draw randomness without sharing a stream, and the result is
+// identical at every parallelism level.
+func SubRNG(seed, index uint64) *RNG {
+	// One SplitMix64 scramble of the index keeps adjacent task streams
+	// decorrelated even though their seeds differ by 1.
+	z := (index + 1) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &RNG{state: seed ^ z ^ (z >> 31)}
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"prete/internal/optical"
+	"prete/internal/par"
+	"prete/internal/topology"
+)
+
+// FiberSeries is one fiber's raw telemetry series, the unit of work of the
+// batch pipeline. Deployments that replay a collection interval (or a whole
+// trace) hand the per-fiber series to ProcessBatch instead of feeding
+// samples one at a time through a live detector.
+type FiberSeries struct {
+	Fiber   int
+	Samples []optical.Sample
+}
+
+// FiberEvent is a detector event annotated with the §3.2 degradation
+// features when the event carries a non-empty window. HasFeatures is false
+// for abrupt cuts (empty window) and for event types without an episode.
+type FiberEvent struct {
+	Event
+	Features    optical.Features
+	HasFeatures bool
+}
+
+// ObserveSeries feeds a whole sample series through the detector and
+// returns the concatenated events in observation order. It is a
+// convenience over calling Observe per sample; the detector's state
+// afterwards reflects the last sample.
+func (d *Detector) ObserveSeries(samples []optical.Sample) []Event {
+	var out []Event
+	for _, s := range samples {
+		out = append(out, d.Observe(s)...)
+	}
+	return out
+}
+
+// ProcessBatch runs the full per-fiber telemetry pipeline — interpolation
+// of missing samples, state-machine detection, and feature extraction for
+// every event with a degradation window — over many fibers at once.
+// parallelism bounds the worker count (<= 0 selects runtime.GOMAXPROCS(0),
+// 1 forces the serial path); each fiber is an independent task with its own
+// detector, and results are returned in input order, so the output is
+// identical at every parallelism setting (see internal/par).
+//
+// The returned slice is parallel to series: out[i] holds fiber i's events.
+func ProcessBatch(net *topology.Network, series []FiberSeries, confirmSamples, parallelism int) ([][]FiberEvent, error) {
+	for _, fs := range series {
+		if fs.Fiber < 0 || fs.Fiber >= len(net.Fibers) {
+			return nil, fmt.Errorf("telemetry: fiber %d out of range [0,%d)", fs.Fiber, len(net.Fibers))
+		}
+	}
+	return par.MapErr(len(series), parallelism, func(i int) ([]FiberEvent, error) {
+		fs := series[i]
+		det := NewDetector(confirmSamples)
+		events := det.ObserveSeries(Interpolate(fs.Samples))
+		out := make([]FiberEvent, len(events))
+		for ei, ev := range events {
+			fe := FiberEvent{Event: ev}
+			if len(ev.Window) > 0 {
+				f := net.Fiber(topology.FiberID(fs.Fiber))
+				feats, err := optical.ExtractFeatures(ev.Window, fs.Fiber, f.Region, f.Vendor, f.LengthKm)
+				if err != nil {
+					return nil, fmt.Errorf("telemetry: fiber %d event %d: %w", fs.Fiber, ei, err)
+				}
+				fe.Features = feats
+				fe.HasFeatures = true
+			}
+			out[ei] = fe
+		}
+		return out, nil
+	})
+}

@@ -6,6 +6,7 @@ import (
 
 	"prete/internal/core"
 	"prete/internal/optical"
+	"prete/internal/par"
 	"prete/internal/routing"
 	"prete/internal/telemetry"
 )
@@ -31,6 +32,11 @@ type Config struct {
 	// Flows overrides the planned flow set; when nil, one flow per
 	// directed IP adjacency is used (the Table 3 convention).
 	Flows []Flow
+	// Parallelism bounds the worker count of the optimizer's class
+	// construction and of ObserveBatch's per-fiber fan-out: <= 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces the serial path. Plans and events are
+	// bit-identical at every setting (see internal/par).
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's defaults (beta 99%, alpha 25%,
@@ -96,6 +102,7 @@ func NewSystem(net *Network, cfg Config) (*System, error) {
 	engine.Alpha = cfg.Alpha
 	engine.TunnelRatio = cfg.TunnelRatio
 	engine.ScenarioOpts = cfg.Scenario
+	engine.Opt.Parallelism = cfg.Parallelism
 	return &System{
 		net: net, cfg: cfg, tunnels: tunnels, engine: engine,
 		detectors: make(map[FiberID]*telemetry.Detector),
@@ -157,6 +164,93 @@ func (s *System) Observe(fiber FiberID, sample Sample) ([]telemetry.Event, error
 		}
 	}
 	return events, nil
+}
+
+// ObserveBatch ingests whole per-fiber sample series at once — the
+// collection-interval replay shape — and returns each fiber's events in
+// input order. The per-fiber work (detector state machine plus feature
+// extraction, both pure per fiber) fans out across Config.Parallelism
+// workers; the predictor and conduit signal updates then run serially in
+// input order, so the resulting signal state and returned events are
+// identical to feeding every sample through Observe one at a time, at any
+// parallelism setting. Each fiber may appear at most once per batch (its
+// detector is owned by one task).
+func (s *System) ObserveBatch(series []telemetry.FiberSeries) ([][]telemetry.Event, error) {
+	seen := make(map[int]bool, len(series))
+	for _, fs := range series {
+		if fs.Fiber < 0 || fs.Fiber >= len(s.net.Fibers) {
+			return nil, fmt.Errorf("prete: fiber %d out of range", fs.Fiber)
+		}
+		if seen[fs.Fiber] {
+			return nil, fmt.Errorf("prete: fiber %d appears twice in batch", fs.Fiber)
+		}
+		seen[fs.Fiber] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Materialize each fiber's detector up front so the parallel phase
+	// never touches the shared map.
+	dets := make([]*telemetry.Detector, len(series))
+	for i, fs := range series {
+		det, ok := s.detectors[FiberID(fs.Fiber)]
+		if !ok {
+			det = telemetry.NewDetector(s.cfg.ConfirmSamples)
+			s.detectors[FiberID(fs.Fiber)] = det
+		}
+		dets[i] = det
+	}
+	// Parallel phase: detector state machine + feature extraction, both
+	// pure per fiber. The predictor (whose forward pass need not be
+	// goroutine-safe) stays out of this phase.
+	type annotated struct {
+		events   []telemetry.Event
+		feats    []optical.Features // parallel to events
+		hasFeats []bool
+	}
+	results := par.Map(len(series), s.cfg.Parallelism, func(i int) annotated {
+		fs := series[i]
+		events := dets[i].ObserveSeries(fs.Samples)
+		a := annotated{
+			events:   events,
+			feats:    make([]optical.Features, len(events)),
+			hasFeats: make([]bool, len(events)),
+		}
+		for ei, ev := range events {
+			if ev.Type != telemetry.DegradationStart || len(ev.Window) == 0 {
+				continue
+			}
+			f := s.net.Fiber(FiberID(fs.Fiber))
+			feats, err := optical.ExtractFeatures(ev.Window, fs.Fiber, f.Region, f.Vendor, f.LengthKm)
+			if err == nil {
+				a.feats[ei] = feats
+				a.hasFeats[ei] = true
+			}
+		}
+		return a
+	})
+	// Serial phase, in input order: prediction and conduit signal fan-out,
+	// exactly as Observe would apply them.
+	out := make([][]telemetry.Event, len(series))
+	for i, fs := range series {
+		out[i] = results[i].events
+		for ei, ev := range results[i].events {
+			switch ev.Type {
+			case telemetry.DegradationStart:
+				pNN := 0.40 // the measured P(cut | degradation) fallback
+				if s.predictor != nil && results[i].hasFeats[ei] {
+					pNN = s.predictor.PredictProb(results[i].feats[ei])
+				}
+				for _, member := range s.conduits[FiberID(fs.Fiber)] {
+					s.signals[member] = DegradationSignal{Fiber: member, PNN: pNN}
+				}
+			case telemetry.DegradationEnd, telemetry.Repaired:
+				for _, member := range s.conduits[FiberID(fs.Fiber)] {
+					delete(s.signals, member)
+				}
+			}
+		}
+	}
+	return out, nil
 }
 
 // ActiveSignals returns the degradation signals currently in force.

@@ -1,11 +1,14 @@
 package prete
 
 import (
+	"reflect"
+	"sort"
 	"sync"
 	"testing"
 
 	"prete/internal/optical"
 	"prete/internal/stats"
+	"prete/internal/telemetry"
 )
 
 func b4System(t *testing.T) *System {
@@ -185,6 +188,66 @@ func TestConcurrentObserve(t *testing.T) {
 		}(f)
 	}
 	wg.Wait()
+}
+
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	// Per-fiber series: fibers 0 and 2 degrade (0 shares a conduit with 1),
+	// fiber 3 stays healthy, fiber 4 degrades then recovers.
+	mk := func(excesses ...float64) []Sample {
+		out := make([]Sample, len(excesses))
+		for i, e := range excesses {
+			out[i] = degradedSample(int64(i+1), e)
+		}
+		return out
+	}
+	series := []telemetry.FiberSeries{
+		{Fiber: 0, Samples: mk(0, 5, 5, 5)},
+		{Fiber: 2, Samples: mk(6, 6)},
+		{Fiber: 3, Samples: mk(0, 0, 0)},
+		{Fiber: 4, Samples: mk(5, 5, 0, 0)},
+	}
+	// Reference: the per-sample Observe path on an identical system.
+	ref := b4System(t)
+	ref.SetPredictor(constPredictor(0.66))
+	want := make([][]telemetry.Event, len(series))
+	for i, fs := range series {
+		for _, s := range fs.Samples {
+			evs, err := ref.Observe(FiberID(fs.Fiber), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = append(want[i], evs...)
+		}
+	}
+	wantSigs := ref.ActiveSignals()
+	for _, p := range []int{1, 2, 8, 0} {
+		sys := b4System(t)
+		sys.cfg.Parallelism = p
+		sys.SetPredictor(constPredictor(0.66))
+		got, err := sys.ObserveBatch(series)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d: batch events diverge from Observe:\ngot  %+v\nwant %+v", p, got, want)
+		}
+		gotSigs := sys.ActiveSignals()
+		sort.Slice(gotSigs, func(a, b int) bool { return gotSigs[a].Fiber < gotSigs[b].Fiber })
+		ws := append([]DegradationSignal(nil), wantSigs...)
+		sort.Slice(ws, func(a, b int) bool { return ws[a].Fiber < ws[b].Fiber })
+		if !reflect.DeepEqual(gotSigs, ws) {
+			t.Fatalf("parallelism %d: signals = %+v, want %+v", p, gotSigs, ws)
+		}
+	}
+	// Validation: out-of-range and duplicate fibers are rejected.
+	sys := b4System(t)
+	if _, err := sys.ObserveBatch([]telemetry.FiberSeries{{Fiber: 99}}); err == nil {
+		t.Fatal("out-of-range fiber accepted")
+	}
+	dup := []telemetry.FiberSeries{{Fiber: 1}, {Fiber: 1}}
+	if _, err := sys.ObserveBatch(dup); err == nil {
+		t.Fatal("duplicate fiber accepted")
+	}
 }
 
 func TestPublicHelpers(t *testing.T) {
