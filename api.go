@@ -3,6 +3,7 @@ package prete
 import (
 	"prete/internal/core"
 	"prete/internal/ml"
+	"prete/internal/obs"
 	"prete/internal/optical"
 	"prete/internal/routing"
 	"prete/internal/scenario"
@@ -72,6 +73,14 @@ type (
 	Trace = trace.Trace
 	// LabeledExample is one (features, failed) training sample.
 	LabeledExample = trace.LabeledExample
+
+	// MetricsRegistry is the observability registry (internal/obs): a
+	// concurrency-safe set of counters, gauges, histograms, and stage timers
+	// with deterministic snapshots. A nil registry disables all
+	// instrumentation at zero cost.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time export of a registry.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Fiber state values.
@@ -146,3 +155,8 @@ func Delivered(p *Plan, f FlowID, demand float64, cut map[FiberID]bool) float64 
 // NewDetector returns a per-fiber degradation/cut detector requiring
 // confirm consecutive samples per transition.
 func NewDetector(confirm int) *telemetry.Detector { return telemetry.NewDetector(confirm) }
+
+// NewMetricsRegistry returns an empty observability registry. Hand it to
+// Config.Metrics (or sim.Config.Metrics, wan.Controller.Metrics, ...) to
+// collect counters and stage timings; results are unaffected.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }

@@ -1,0 +1,206 @@
+// Command prete-benchdiff converts `go test -bench` output to a stable
+// JSON form and compares two such files, so CI can archive per-commit
+// benchmark artifacts and flag regressions against a committed baseline:
+//
+//	go test -run=NoSuchTest -bench=. -benchtime=1x . > bench.txt
+//	prete-benchdiff -convert bench.txt -o BENCH_ci.json
+//	prete-benchdiff -diff BENCH_baseline.json BENCH_ci.json
+//	prete-benchdiff -diff base.json new.json -fail-over 2.0   # exit 1 on >2x
+//
+// Timings on shared CI runners are noisy, so -diff only reports by default;
+// -fail-over turns ratios above the bound into a failing exit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// File is the JSON artifact: results sorted by name plus the environment
+// lines go test prints (goos/goarch/pkg/cpu), for provenance.
+type File struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+// parseBench reads `go test -bench` text output. Unrecognized lines are
+// ignored, so piping a whole test log through is fine.
+func parseBench(r io.Reader) (*File, error) {
+	f := &File{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, env := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, env+": "); ok {
+				f.Env[env] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name-N  iterations  value unit  [value unit ...]
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: name, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if res.NsPerOp == 0 {
+			continue
+		}
+		f.Benchmarks = append(f.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool { return f.Benchmarks[i].Name < f.Benchmarks[j].Name })
+	return f, nil
+}
+
+func readFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// diff prints a ratio table and returns the worst current/baseline ratio
+// over the benchmarks present in both files.
+func diff(w io.Writer, base, cur *File) float64 {
+	baseBy := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseBy[r.Name] = r
+	}
+	worst := 0.0
+	fmt.Fprintf(w, "%-36s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "ratio")
+	for _, r := range cur.Benchmarks {
+		b, ok := baseBy[r.Name]
+		if !ok || b.NsPerOp == 0 {
+			fmt.Fprintf(w, "%-36s %14s %14.0f %8s\n", r.Name, "-", r.NsPerOp, "new")
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		if ratio > worst {
+			worst = ratio
+		}
+		fmt.Fprintf(w, "%-36s %14.0f %14.0f %7.2fx\n", r.Name, b.NsPerOp, r.NsPerOp, ratio)
+		delete(baseBy, r.Name)
+	}
+	for name := range baseBy {
+		fmt.Fprintf(w, "%-36s %14s %14s %8s\n", name, "-", "-", "gone")
+	}
+	return worst
+}
+
+func main() {
+	var (
+		convert  = flag.String("convert", "", "parse `go test -bench` output from this file ('-' for stdin) and emit JSON")
+		out      = flag.String("o", "", "output path for -convert (default stdout)")
+		doDiff   = flag.Bool("diff", false, "compare two JSON files: prete-benchdiff -diff base.json current.json")
+		failOver = flag.Float64("fail-over", 0, "with -diff, exit 1 if any ns/op ratio exceeds this bound (0 disables)")
+	)
+	flag.Parse()
+
+	switch {
+	case *convert != "":
+		in := os.Stdin
+		if *convert != "-" {
+			f, err := os.Open(*convert)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		parsed, err := parseBench(in)
+		if err != nil {
+			fatal(err)
+		}
+		if len(parsed.Benchmarks) == 0 {
+			fatal(fmt.Errorf("no benchmark results in %s", *convert))
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(parsed); err != nil {
+			fatal(err)
+		}
+	case *doDiff:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two JSON files, got %d args", flag.NArg()))
+		}
+		base, err := readFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := readFile(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		worst := diff(os.Stdout, base, cur)
+		fmt.Printf("worst ratio: %.2fx\n", worst)
+		if *failOver > 0 && worst > *failOver {
+			fmt.Fprintf(os.Stderr, "prete-benchdiff: worst ratio %.2fx exceeds -fail-over %.2fx\n", worst, *failOver)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "prete-benchdiff: pass -convert <file> or -diff <base.json> <current.json>")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "prete-benchdiff: %v\n", err)
+	os.Exit(1)
+}

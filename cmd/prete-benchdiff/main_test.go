@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: prete
+cpu: Intel(R) Xeon(R)
+BenchmarkSimplexTE-8         	     120	   9876543 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkParallelEvaluate-8  	       1	1234567890 ns/op
+BenchmarkDetector-8          	  500000	      2345 ns/op
+PASS
+ok  	prete	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	// Sorted by name, GOMAXPROCS suffix stripped.
+	wantNames := []string{"BenchmarkDetector", "BenchmarkParallelEvaluate", "BenchmarkSimplexTE"}
+	for i, r := range f.Benchmarks {
+		if r.Name != wantNames[i] {
+			t.Errorf("benchmark %d = %q, want %q", i, r.Name, wantNames[i])
+		}
+	}
+	s := f.Benchmarks[2]
+	if s.Iterations != 120 || s.NsPerOp != 9876543 || s.BytesPerOp != 123456 || s.AllocsPerOp != 789 {
+		t.Errorf("SimplexTE parsed wrong: %+v", s)
+	}
+	if f.Env["goos"] != "linux" || f.Env["pkg"] != "prete" {
+		t.Errorf("env lines lost: %+v", f.Env)
+	}
+}
+
+func TestDiffRatios(t *testing.T) {
+	base := &File{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	cur := &File{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 150},
+		{Name: "BenchmarkNew", NsPerOp: 10},
+	}}
+	var buf bytes.Buffer
+	worst := diff(&buf, base, cur)
+	if worst != 1.5 {
+		t.Errorf("worst ratio = %v, want 1.5", worst)
+	}
+	out := buf.String()
+	for _, want := range []string{"1.50x", "new", "gone"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,6 +5,8 @@
 //	prete-sim -exp fig13
 //	prete-sim -exp tab5 -seed 7
 //	prete-sim -all -quick
+//	prete-sim -exp fig8 -quick -metrics     # JSON metrics snapshot on stderr-free stdout
+//	prete-sim -exp fig13 -debug-addr :6060  # live /metrics + pprof while running
 package main
 
 import (
@@ -13,16 +15,20 @@ import (
 	"os"
 
 	"prete/internal/experiments"
+	"prete/internal/obs"
+	"prete/internal/par"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (see -list)")
-		seed  = flag.Uint64("seed", 2025, "random seed")
-		quick = flag.Bool("quick", false, "reduced fidelity for fast runs")
-		list  = flag.Bool("list", false, "list available experiments")
-		all   = flag.Bool("all", false, "run every experiment")
-		par   = flag.Int("p", 0, "worker parallelism (0 = GOMAXPROCS, 1 = serial; output is identical)")
+		exp       = flag.String("exp", "", "experiment id to run (see -list)")
+		seed      = flag.Uint64("seed", 2025, "random seed")
+		quick     = flag.Bool("quick", false, "reduced fidelity for fast runs")
+		list      = flag.Bool("list", false, "list available experiments")
+		all       = flag.Bool("all", false, "run every experiment")
+		par_      = flag.Int("p", 0, "worker parallelism (0 = GOMAXPROCS, 1 = serial; output is identical)")
+		metrics   = flag.Bool("metrics", false, "print a JSON metrics snapshot after the run")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 
@@ -32,7 +38,24 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *par}
+	// Experiment output is byte-identical with metrics on or off: the
+	// registry is a write-only side channel (see internal/obs).
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		reg.PublishExpvar("prete")
+		par.SetMetrics(reg)
+	}
+	if *debugAddr != "" {
+		addr, closeFn, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-sim: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer closeFn()
+		fmt.Fprintf(os.Stderr, "prete-sim: debug server on http://%s/metrics\n", addr)
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *par_, Metrics: reg}
 	switch {
 	case *all:
 		for _, id := range experiments.IDs() {
@@ -50,5 +73,12 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "prete-sim: pass -exp <id>, -all, or -list")
 		os.Exit(2)
+	}
+	if *metrics {
+		fmt.Println("== metrics ==")
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "prete-sim: metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

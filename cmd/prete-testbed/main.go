@@ -5,6 +5,8 @@
 //
 //	prete-testbed            # production-like switch latencies (~250 ms/tunnel)
 //	prete-testbed -fast      # millisecond-scale latencies for CI
+//	prete-testbed -fast -metrics           # JSON metrics snapshot after the run
+//	prete-testbed -debug-addr 127.0.0.1:0  # live /metrics + pprof while running
 package main
 
 import (
@@ -13,16 +15,36 @@ import (
 	"os"
 	"time"
 
+	"prete/internal/obs"
 	"prete/internal/optical"
+	"prete/internal/par"
 	"prete/internal/wan"
 )
 
 func main() {
 	var (
-		fast = flag.Bool("fast", false, "millisecond-scale switch latencies")
-		seed = flag.Uint64("seed", 2025, "random seed")
+		fast      = flag.Bool("fast", false, "millisecond-scale switch latencies")
+		seed      = flag.Uint64("seed", 2025, "random seed")
+		metrics   = flag.Bool("metrics", false, "print a JSON metrics snapshot after the run")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		reg.PublishExpvar("prete-testbed")
+		par.SetMetrics(reg)
+	}
+	if *debugAddr != "" {
+		addr, closeFn, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer closeFn()
+		fmt.Fprintf(os.Stderr, "prete-testbed: debug server on http://%s/metrics\n", addr)
+	}
 
 	cfg := wan.DefaultSwitchConfig()
 	if *fast {
@@ -39,6 +61,8 @@ func main() {
 		os.Exit(1)
 	}
 	defer tb.Close()
+	// RPC counters and latency from the controller's round trips.
+	tb.Ctl.Metrics = reg
 
 	timing, err := tb.RunScenario(*seed)
 	if err != nil {
@@ -63,6 +87,14 @@ func main() {
 	fmt.Println("\nSerialized tunnel installation (Fig 11b):")
 	for _, n := range counts {
 		fmt.Printf("  %2d tunnels  %8.1f ms\n", n, ms(scaling[n]))
+	}
+
+	if *metrics {
+		fmt.Println("\n== metrics ==")
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"prete/internal/obs"
+)
+
+// TestSolveMetricsInvariant is the tentpole guarantee of the observability
+// layer: attaching a registry must not change the optimizer's output in any
+// bit — metrics are a write-only side channel. It also pins that a solve
+// actually populates the core.benders.* and core.lp.* series.
+func TestSolveMetricsInvariant(t *testing.T) {
+	for _, topo := range []string{"B4", "IBM"} {
+		in := realInput(t, topo, 37)
+		plain := DefaultOptimizer()
+		want, err := plain.Solve(in)
+		if err != nil {
+			t.Fatalf("%s without metrics: %v", topo, err)
+		}
+		reg := obs.NewRegistry()
+		metered := DefaultOptimizer()
+		metered.Metrics = reg
+		got, err := metered.Solve(in)
+		if err != nil {
+			t.Fatalf("%s with metrics: %v", topo, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: result differs with metrics attached", topo)
+		}
+		iters := reg.Counter("core.benders.iterations").Value()
+		if iters != int64(want.Iterations) {
+			t.Errorf("%s: metered %d iterations, result reports %d", topo, iters, want.Iterations)
+		}
+		if reg.Counter("core.lp.pivots").Value() == 0 {
+			t.Errorf("%s: no LP pivots recorded", topo)
+		}
+		if reg.Timer("core.benders.master_solve").Count() == 0 {
+			t.Errorf("%s: no master solves timed", topo)
+		}
+		if reg.Timer("core.benders.subproblem_solve").Count() == 0 {
+			t.Errorf("%s: no subproblem solves timed", topo)
+		}
+		if reg.Gauge("core.benders.classes").Value() == 0 {
+			t.Errorf("%s: class gauge not set", topo)
+		}
+	}
+}
+
+// TestPlanEpochMetricsInvariant extends the invariant through the full
+// pipeline: calibration, Algorithm 1, scenario regeneration, and the solve,
+// with a degradation signal active so the tunnel-update path runs.
+func TestPlanEpochMetricsInvariant(t *testing.T) {
+	in := realInput(t, "B4", 41)
+	pi := make([]float64, len(in.Net.Fibers))
+	for i := range pi {
+		pi[i] = 0.002
+	}
+	epoch := EpochInput{
+		Net: in.Net, Tunnels: in.Tunnels, Demands: in.Demands, Beta: 0.99,
+		PI:      pi,
+		Signals: []DegradationSignal{{Fiber: 0, PNN: 0.7}},
+	}
+	plain := New()
+	want, err := plain.PlanEpoch(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	metered := New()
+	metered.Opt.Metrics = reg
+	got, err := metered.PlanEpoch(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("epoch plan differs with metrics attached")
+	}
+	for _, stage := range []string{
+		"core.epoch.calibrate", "core.epoch.tunnel_update",
+		"core.epoch.scenario_regen", "core.epoch.optimize",
+	} {
+		if reg.Timer(stage).Count() == 0 {
+			t.Errorf("stage timer %s not recorded", stage)
+		}
+	}
+	if want.Update == nil || want.Update.NewTunnels == 0 {
+		t.Fatal("test expects the signal to create tunnels")
+	}
+	if got := reg.Counter("core.epoch.new_tunnels").Value(); got != int64(want.Update.NewTunnels) {
+		t.Errorf("new_tunnels counter = %d, want %d", got, want.Update.NewTunnels)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"prete/internal/lp"
+	"prete/internal/obs"
 	"prete/internal/par"
 	"prete/internal/routing"
 	"prete/internal/scenario"
@@ -133,6 +134,50 @@ type Optimizer struct {
 	// work is partitioned by index and merged in a fixed order (see
 	// internal/par).
 	Parallelism int
+	// Metrics, when non-nil, receives Benders iteration counts, cuts
+	// added, master/subproblem solve times, and LP pivot/node counts.
+	// Metrics are write-only: results are bit-identical with Metrics nil
+	// or set (internal/core's obs tests assert this).
+	Metrics *obs.Registry
+}
+
+// optObs holds the optimizer's pre-resolved metric handles. Every handle is
+// nil (a no-op) when the registry is nil, so the instrumented paths carry no
+// branches beyond the nil checks inside internal/obs.
+type optObs struct {
+	iterations     *obs.Counter
+	cutsAdded      *obs.Counter
+	structuralCuts *obs.Counter
+	classes        *obs.Gauge
+	masterSolve    *obs.Timer
+	subSolve       *obs.Timer
+	polishSolve    *obs.Timer
+	pivots         *obs.Counter
+	bbNodes        *obs.Counter
+	pivotsPerSolve *obs.Histogram
+}
+
+func (o *Optimizer) metrics() optObs {
+	r := o.Metrics
+	return optObs{
+		iterations:     r.Counter("core.benders.iterations"),
+		cutsAdded:      r.Counter("core.benders.cuts_added"),
+		structuralCuts: r.Counter("core.benders.structural_cuts"),
+		classes:        r.Gauge("core.benders.classes"),
+		masterSolve:    r.Timer("core.benders.master_solve"),
+		subSolve:       r.Timer("core.benders.subproblem_solve"),
+		polishSolve:    r.Timer("core.benders.polish_solve"),
+		pivots:         r.Counter("core.lp.pivots"),
+		bbNodes:        r.Counter("core.lp.bb_nodes"),
+		pivotsPerSolve: r.Histogram("core.lp.pivots_per_solve", obs.CountBuckets()),
+	}
+}
+
+// observeLP records one LP/MIP solve's pivot and node counts.
+func (m optObs) observeLP(sol *lp.Solution) {
+	m.pivots.Add(int64(sol.Pivots))
+	m.bbNodes.Add(int64(sol.Nodes))
+	m.pivotsPerSolve.Observe(float64(sol.Pivots))
 }
 
 // DefaultOptimizer returns production-ish settings.
@@ -159,7 +204,9 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 	if in.Scenarios == nil || len(in.Scenarios.Scenarios) == 0 {
 		return nil, fmt.Errorf("core: no failure scenarios")
 	}
+	m := o.metrics()
 	classes := BuildClassesP(in.Tunnels, in.Scenarios, o.Parallelism)
+	m.classes.Set(float64(len(classes)))
 	// Feasibility of constraint (5): every flow must be able to reach beta.
 	perFlowMass := make(map[routing.FlowID]float64)
 	for _, c := range classes {
@@ -185,14 +232,15 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 		minLoss := par.Map(len(classes), o.Parallelism, func(ci int) float64 {
 			return classMinLoss(in, classes[ci])
 		})
-		for ci, m := range minLoss {
-			if m <= 0 {
+		for ci, ml := range minLoss {
+			if ml <= 0 {
 				continue
 			}
-			cut := bendersCut{coef: make([]float64, len(classes)), con: m}
-			cut.coef[ci] = m
+			cut := bendersCut{coef: make([]float64, len(classes)), con: ml}
+			cut.coef[ci] = ml
 			cuts = append(cuts, cut)
 		}
+		m.structuralCuts.Add(int64(len(cuts)))
 	}
 
 	// Algorithm 2, line 2: initialize delta = 1 for all (f, q) — then let
@@ -202,7 +250,7 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 		delta[i] = true
 	}
 	if len(cuts) > 0 {
-		d, _, err := o.solveMaster(in, classes, cuts)
+		d, _, err := o.solveMaster(in, classes, cuts, m)
 		if err == nil {
 			delta = d
 		}
@@ -213,8 +261,9 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 	var bestDelta []bool
 	iters := 0
 	for ; iters < o.MaxIters; iters++ {
+		m.iterations.Inc()
 		// Step 1: solve the subproblem with delta fixed.
-		sp, err := o.solveSubproblem(in, classes, delta)
+		sp, err := o.solveSubproblem(in, classes, delta, m)
 		if err != nil {
 			return nil, fmt.Errorf("core: subproblem iter %d: %w", iters, err)
 		}
@@ -225,12 +274,13 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 			bestDelta = append(bestDelta[:0], delta...)
 		}
 		cuts = append(cuts, sp.cut)
+		m.cutsAdded.Inc()
 		if ub-lb <= o.Epsilon {
 			iters++
 			break
 		}
 		// Step 2: solve the master with the accumulated optimality cuts.
-		newDelta, masterPhi, err := o.solveMaster(in, classes, cuts)
+		newDelta, masterPhi, err := o.solveMaster(in, classes, cuts, m)
 		if err != nil {
 			return nil, fmt.Errorf("core: master iter %d: %w", iters, err)
 		}
@@ -252,7 +302,7 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 	// min-Phi LP is content to stop at (1-Phi)d per flow, which would make
 	// downstream availability accounting degenerate.
 	if !o.DisablePolish {
-		if polished, err := o.polish(in, classes, bestDelta, bestPhi); err == nil {
+		if polished, err := o.polish(in, classes, bestDelta, bestPhi, m); err == nil {
 			bestAlloc = polished
 		}
 	}
@@ -264,7 +314,7 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 
 // polish maximizes total satisfied demand fraction subject to the
 // converged delta and loss bound.
-func (o *Optimizer) polish(in *te.Input, classes []Class, delta []bool, phiCap float64) (te.Allocation, error) {
+func (o *Optimizer) polish(in *te.Input, classes []Class, delta []bool, phiCap float64, m optObs) (te.Allocation, error) {
 	prob := lp.NewProblem()
 	phi := prob.AddVar(0, "phi")
 	tunnelVar := make(map[routing.TunnelID]int, len(in.Tunnels.Tunnels))
@@ -331,7 +381,10 @@ func (o *Optimizer) polish(in *te.Input, classes []Class, delta []bool, phiCap f
 			return nil, err
 		}
 	}
+	start := m.polishSolve.Start()
 	sol := prob.Solve()
+	m.polishSolve.Stop(start)
+	m.observeLP(sol)
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("polish LP %v", sol.Status)
 	}
@@ -361,7 +414,7 @@ type spSolution struct {
 // DESIGN.md) for a fixed delta and derives the Appendix A.4 optimality cut
 // from its duals: w_{f,c} = d_f * y_{f,c} reconstructs a dual-feasible point
 // of the full SP of Appendix A.5.
-func (o *Optimizer) solveSubproblem(in *te.Input, classes []Class, delta []bool) (*spSolution, error) {
+func (o *Optimizer) solveSubproblem(in *te.Input, classes []Class, delta []bool, m optObs) (*spSolution, error) {
 	prob := lp.NewProblem()
 	phi := prob.AddVar(1, "phi")
 	tunnelVar := make(map[routing.TunnelID]int, len(in.Tunnels.Tunnels))
@@ -431,7 +484,10 @@ func (o *Optimizer) solveSubproblem(in *te.Input, classes []Class, delta []bool)
 	if _, err := prob.AddUpperBound(phi, 1, "phi<=1"); err != nil {
 		return nil, err
 	}
+	start := m.subSolve.Start()
 	sol := prob.Solve()
+	m.subSolve.Stop(start)
+	m.observeLP(sol)
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("subproblem LP %v", sol.Status)
 	}
@@ -472,7 +528,7 @@ const exactMasterLimit = 48
 // solveMaster solves the MP: min Phi s.t. all optimality cuts, the
 // availability constraint (5) per flow, delta binary. It returns the next
 // delta and a valid lower bound on the optimal Phi.
-func (o *Optimizer) solveMaster(in *te.Input, classes []Class, cuts []bendersCut) ([]bool, float64, error) {
+func (o *Optimizer) solveMaster(in *te.Input, classes []Class, cuts []bendersCut, mo optObs) ([]bool, float64, error) {
 	exact := len(classes) <= exactMasterLimit
 	m := lp.NewMIP()
 	phi := m.AddVar(1, "phi")
@@ -522,7 +578,10 @@ func (o *Optimizer) solveMaster(in *te.Input, classes []Class, cuts []bendersCut
 		return nil, 0, err
 	}
 	if exact {
+		start := mo.masterSolve.Start()
 		sol := m.SolveMIP(lp.MIPOptions{MaxNodes: o.MasterNodes})
+		mo.masterSolve.Stop(start)
+		mo.observeLP(sol)
 		if sol.Status != lp.Optimal && sol.Status != lp.IterationLimit {
 			return nil, 0, fmt.Errorf("master MIP %v", sol.Status)
 		}
@@ -533,7 +592,10 @@ func (o *Optimizer) solveMaster(in *te.Input, classes []Class, cuts []bendersCut
 		return delta, sol.X[phi], nil
 	}
 	// Relaxation lower bound + greedy rounding.
+	start := mo.masterSolve.Start()
 	sol := m.Problem.Solve()
+	mo.masterSolve.Stop(start)
+	mo.observeLP(sol)
 	if sol.Status != lp.Optimal {
 		return nil, 0, fmt.Errorf("master relaxation %v", sol.Status)
 	}

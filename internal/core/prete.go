@@ -118,7 +118,12 @@ func (p *PreTE) PlanEpoch(in EpochInput) (*EpochPlan, error) {
 	if len(in.PI) != len(in.Net.Fibers) {
 		return nil, fmt.Errorf("core: %d static probabilities for %d fibers", len(in.PI), len(in.Net.Fibers))
 	}
+	// Stage timers land in the optimizer's registry (nil-safe no-ops when
+	// metrics are disabled); results are unaffected.
+	reg := p.Opt.Metrics
 	// Step 1: Eqn. 1. A TeaVaR configuration (alpha = 0) ignores signals.
+	calT := reg.Timer("core.epoch.calibrate")
+	calStart := calT.Start()
 	degraded := make(map[topology.FiberID]float64, len(in.Signals))
 	if p.Alpha > 0 {
 		for _, s := range in.Signals {
@@ -126,10 +131,13 @@ func (p *PreTE) PlanEpoch(in EpochInput) (*EpochPlan, error) {
 		}
 	}
 	probs, err := scenario.Calibrated(in.PI, degraded, p.Alpha)
+	calT.Stop(calStart)
 	if err != nil {
 		return nil, err
 	}
 	// Step 2: Algorithm 1 per degraded fiber.
+	updT := reg.Timer("core.epoch.tunnel_update")
+	updStart := updT.Start()
 	tunnels := in.Tunnels
 	var update *UpdateResult
 	if p.TunnelRatio > 0 {
@@ -148,8 +156,15 @@ func (p *PreTE) PlanEpoch(in EpochInput) (*EpochPlan, error) {
 			tunnels = res.Tunnels
 		}
 	}
+	updT.Stop(updStart)
+	if update != nil {
+		reg.Counter("core.epoch.new_tunnels").Add(int64(update.NewTunnels))
+	}
 	// Step 3: regenerate the failure scenarios Q_s.
+	regenT := reg.Timer("core.epoch.scenario_regen")
+	regenStart := regenT.Start()
 	set, err := scenario.Enumerate(probs, p.ScenarioOpts)
+	regenT.Stop(regenStart)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +173,10 @@ func (p *PreTE) PlanEpoch(in EpochInput) (*EpochPlan, error) {
 		Net: in.Net, Tunnels: tunnels, Demands: in.Demands,
 		Scenarios: set, Beta: in.Beta,
 	}
+	optT := reg.Timer("core.epoch.optimize")
+	optStart := optT.Start()
 	res, err := p.Opt.Solve(teIn)
+	optT.Stop(optStart)
 	if err != nil {
 		return nil, err
 	}

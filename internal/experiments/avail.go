@@ -33,6 +33,7 @@ func evalConfig(opts Options) sim.Config {
 	cfg.ScenarioOpts.MaxScenarios = 250
 	cfg.MaxDegScenarios = 6
 	cfg.Parallelism = opts.Parallelism
+	cfg.Metrics = opts.Metrics
 	if opts.Quick {
 		cfg.ScenarioOpts.MaxScenarios = 120
 		cfg.MaxDegScenarios = 4
@@ -241,6 +242,7 @@ func fig16(w io.Writer, opts Options) error {
 		p := core.New()
 		p.TunnelRatio = ratio
 		p.ScenarioOpts = cfg.ScenarioOpts
+		p.Opt.Metrics = opts.Metrics
 		start := time.Now()
 		ep, err := p.PlanEpoch(core.EpochInput{
 			Net: env.Net, Tunnels: env.Tunnels,
@@ -340,6 +342,7 @@ func fig18(w io.Writer, opts Options) error {
 	// optimizer routes onto the one with spare capacity.
 	p := core.New()
 	p.TunnelRatio = 2
+	p.Opt.Metrics = opts.Metrics
 	ep, err := p.PlanEpoch(core.EpochInput{
 		Net: net, Tunnels: ts, Demands: demands, Beta: 0.99,
 		PI:      []float64{0.002, 0.002, 0.002, 0.002, 0.002},
@@ -425,6 +428,7 @@ func fig19(w io.Writer, opts Options) error {
 	}
 	tv := core.NewTeaVar()
 	tv.ScenarioOpts = cfg.ScenarioOpts
+	tv.Opt.Metrics = opts.Metrics
 	base := env.BaseDemands.Scale(2)
 	plan0, err := tv.PlanEpoch(core.EpochInput{
 		Net: env.Net, Tunnels: env.Tunnels, Demands: base, Beta: cfg.Beta, PI: env.PI,

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"prete/internal/obs"
 )
 
 // Options tunes experiment execution.
@@ -25,6 +27,11 @@ type Options struct {
 	// cells are computed into an index-addressed grid and printed in row
 	// order (see internal/par).
 	Parallelism int
+	// Metrics, when non-nil, collects the observability series of every
+	// layer an experiment exercises (core.benders.*, sim.*, telemetry.*).
+	// Write-only: experiment output is byte-identical with Metrics set or
+	// nil.
+	Metrics *obs.Registry
 }
 
 // Func runs one experiment, writing its table/series to w.

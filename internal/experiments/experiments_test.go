@@ -119,6 +119,9 @@ func TestFig18ProductionCase(t *testing.T) {
 
 func TestAvailabilityExperimentsQuick(t *testing.T) {
 	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
+	if testing.Short() {
 		t.Skip("availability sweeps in -short mode")
 	}
 	for _, id := range []string{"fig16", "fig20b"} {

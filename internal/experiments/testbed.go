@@ -156,6 +156,7 @@ func fig237(w io.Writer, opts Options) error {
 		return err
 	}
 	prete := core.New()
+	prete.Opt.Metrics = opts.Metrics
 	ep, err := prete.PlanEpoch(core.EpochInput{
 		Net: net, Tunnels: ts, Demands: te.Demands{5, 5}, Beta: 0.99,
 		PI:      []float64{p[0], p[1], p[2]},
@@ -168,6 +169,7 @@ func fig237(w io.Writer, opts Options) error {
 	preThroughput := te.Delivered(ep.Plan, 0, 5, cut) + te.Delivered(ep.Plan, 1, 5, cut)
 
 	teavar := core.NewTeaVar()
+	teavar.Opt.Metrics = opts.Metrics
 	tvEp, err := teavar.PlanEpoch(core.EpochInput{
 		Net: net, Tunnels: ts, Demands: te.Demands{5, 5}, Beta: 0.99,
 		PI: []float64{p[0], p[1], p[2]},

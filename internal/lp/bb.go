@@ -51,6 +51,7 @@ func (m *MIP) SolveMIP(opts MIPOptions) *Solution {
 	}
 	root := node{fixed: map[int]float64{}}
 	relax := m.solveWithFixings(root.fixed)
+	pivots := relax.Pivots
 	if relax.Status != Optimal {
 		return relax
 	}
@@ -74,6 +75,7 @@ func (m *MIP) SolveMIP(opts MIPOptions) *Solution {
 			continue
 		}
 		sol := m.solveWithFixings(nd.fixed)
+		pivots += sol.Pivots
 		if sol.Status != Optimal {
 			continue
 		}
@@ -102,13 +104,15 @@ func (m *MIP) SolveMIP(opts MIPOptions) *Solution {
 			// (possibly fractional) root relaxation rather than claiming
 			// infeasibility.
 			relax.Status = IterationLimit
+			relax.Pivots, relax.Nodes = pivots, nodes
 			return relax
 		}
-		return &Solution{Status: Infeasible}
+		return &Solution{Status: Infeasible, Pivots: pivots, Nodes: nodes}
 	}
 	if len(stack) > 0 && nodes >= opts.MaxNodes {
 		incumbent.Status = IterationLimit
 	}
+	incumbent.Pivots, incumbent.Nodes = pivots, nodes
 	return incumbent
 }
 

@@ -146,6 +146,12 @@ type Solution struct {
 	Objective float64
 	X         []float64 // primal values, len NumVars
 	Duals     []float64 // one per constraint row, len NumConstraints
+	// Pivots counts simplex pivots across both phases — the solver-iteration
+	// figure the observability layer records (internal/obs); identical runs
+	// pivot identically, so it is deterministic diagnostic output.
+	Pivots int
+	// Nodes counts branch-and-bound nodes explored (MIP solves only).
+	Nodes int
 }
 
 // Value returns the primal value of variable v.

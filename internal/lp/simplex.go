@@ -22,10 +22,10 @@ func (p *Problem) Solve() *Solution {
 		t.priceOut(t.phase1Costs())
 		status := t.iterate(true)
 		if status != Optimal {
-			return &Solution{Status: status}
+			return &Solution{Status: status, Pivots: t.pivots}
 		}
 		if t.rhsValue() > 1e-6 {
-			return &Solution{Status: Infeasible}
+			return &Solution{Status: Infeasible, Pivots: t.pivots}
 		}
 		t.evictArtificials()
 	}
@@ -33,7 +33,7 @@ func (p *Problem) Solve() *Solution {
 	t.priceOut(t.phase2Costs())
 	status := t.iterate(false)
 	if status != Optimal {
-		return &Solution{Status: status}
+		return &Solution{Status: status, Pivots: t.pivots}
 	}
 	return t.extract()
 }
@@ -57,6 +57,7 @@ type tableau struct {
 	rowSign    []float64 // +1, or -1 when the row was flipped to make RHS >= 0
 	degenerate int       // consecutive degenerate pivot counter
 	iterLimit  int
+	pivots     int // total pivots across both phases (Solution.Pivots)
 }
 
 func newTableau(p *Problem) *tableau {
@@ -242,6 +243,7 @@ func (t *tableau) chooseRow(col int) int {
 
 // pivot makes (row, col) the new basic position.
 func (t *tableau) pivot(row, col int) {
+	t.pivots++
 	if t.a[row][t.cols] <= eps {
 		t.degenerate++
 	} else {
@@ -320,5 +322,5 @@ func (t *tableau) extract() *Solution {
 		}
 		duals[i] = t.rowSign[i] * y
 	}
-	return &Solution{Status: Optimal, Objective: obj, X: x, Duals: duals}
+	return &Solution{Status: Optimal, Objective: obj, X: x, Duals: duals, Pivots: t.pivots}
 }

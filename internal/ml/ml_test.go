@@ -180,6 +180,9 @@ func TestNNLearnsSyntheticRule(t *testing.T) {
 }
 
 func TestTable5Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
 	// The Table 5 ranking must reproduce: NN > DT and Statistic, all far
 	// above the naive TeaVar baseline.
 	train, test := dataset(t, 2025)

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// PublishExpvar exposes the registry's live snapshot as the named expvar
+// variable (visible on /debug/vars of any expvar-serving endpoint,
+// including this package's debug server). Publishing the same name twice is
+// a no-op rather than the expvar panic, so CLIs and tests can call it
+// unconditionally. Nil registries are not published.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// DebugHandler returns an http.Handler serving the operator surface:
+//
+//	/metrics        JSON snapshot of the registry
+//	/metrics.txt    line-oriented snapshot
+//	/debug/vars     expvar (includes anything PublishExpvar exposed)
+//	/debug/pprof/*  net/http/pprof profiles
+//
+// The registry may be nil; /metrics then serves an empty snapshot and the
+// pprof routes still work, so a debug endpoint is useful even without
+// metrics collection.
+func DebugHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug binds addr (":0" picks a free port) and serves DebugHandler in
+// a background goroutine. It returns the bound address and a closer that
+// shuts the server down.
+func ServeDebug(addr string, r *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Timer accumulates stage durations: count, total, and max. All methods are
+// nil-safe and safe for concurrent use.
+//
+// The Start/Stop pair is the zero-cost-when-disabled idiom:
+//
+//	start := m.masterTime.Start() // no clock read when the timer is nil
+//	sol := solveMaster(...)
+//	m.masterTime.Stop(start)
+//
+// On a nil timer Start returns the zero time without touching the clock and
+// Stop discards it, so disabled instrumentation adds only two nil checks.
+type Timer struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+// Start returns the current time, or the zero time on a nil timer.
+func (t *Timer) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop records the duration since start (a Start result). Zero start values
+// (from a nil-timer Start) are discarded.
+func (t *Timer) Stop(start time.Time) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	t.Observe(time.Since(start))
+}
+
+// Observe records one duration directly.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	ns := int64(d)
+	t.count.Add(1)
+	t.totalNs.Add(ns)
+	for {
+		old := t.maxNs.Load()
+		if ns <= old || t.maxNs.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded durations (0 for nil).
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns the accumulated duration (0 for nil).
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.totalNs.Load())
+}
+
+// Max returns the largest recorded duration (0 for nil).
+func (t *Timer) Max() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.maxNs.Load())
+}

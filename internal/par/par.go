@@ -29,7 +29,24 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"prete/internal/obs"
 )
+
+// metrics is the process-wide registry the pool reports into. The pool sits
+// below every instrumented layer and has no per-call configuration surface,
+// so — unlike the Metrics fields on core.Optimizer and sim.Config — its hook
+// is a package-level pointer, installed once by the CLI (or a test) via
+// SetMetrics. A nil registry (the default) keeps the fan-out entirely
+// uninstrumented: not even the clock is read.
+var metrics atomic.Pointer[obs.Registry]
+
+// SetMetrics installs the registry ForEach reports into: per-batch and
+// per-task counters plus a queue-wait timer (the delay between a batch's
+// submission and each task's start, the backlog signal). Pass nil to turn
+// instrumentation back off. Metrics are write-only and do not affect
+// scheduling or results.
+func SetMetrics(r *obs.Registry) { metrics.Store(r) }
 
 // Limit resolves a Parallelism knob to a concrete worker count: values
 // <= 0 mean "use the hardware", i.e. runtime.GOMAXPROCS(0).
@@ -52,12 +69,22 @@ func ForEach(n, parallelism int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	reg := metrics.Load()
+	reg.Counter("par.batches").Inc()
+	reg.Counter("par.tasks").Add(int64(n))
+	queueWait := reg.Timer("par.queue_wait")
+	// All n tasks are conceptually enqueued here; each task's queue wait is
+	// the delay from this point to its start. submitted is the zero time
+	// when metrics are off, so the Stop calls below discard without reading
+	// the clock.
+	submitted := queueWait.Start()
 	limit := Limit(parallelism)
 	if limit > n {
 		limit = n
 	}
 	if limit <= 1 {
 		for i := 0; i < n; i++ {
+			queueWait.Stop(submitted)
 			fn(i)
 		}
 		return
@@ -73,6 +100,7 @@ func ForEach(n, parallelism int, fn func(i int)) {
 				if i >= n {
 					return
 				}
+				queueWait.Stop(submitted)
 				fn(i)
 			}
 		}()

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"prete/internal/obs"
 )
 
 func TestLimit(t *testing.T) {
@@ -97,5 +99,31 @@ func TestSumVectorsOrderFixed(t *testing.T) {
 	}
 	if got[0] != want0 || got[1] != want1 {
 		t.Fatalf("SumVectors = %v, want [%v %v]", got, want0, want1)
+	}
+}
+
+// TestForEachMetrics checks the pool's package-level instrumentation: task
+// and batch counts at serial and parallel limits, queue-wait samples per
+// task, and that results are untouched by metric collection.
+func TestForEachMetrics(t *testing.T) {
+	defer SetMetrics(nil)
+	for _, limit := range []int{1, 4} {
+		reg := obs.NewRegistry()
+		SetMetrics(reg)
+		const n = 9
+		var ran atomic.Int64
+		ForEach(n, limit, func(i int) { ran.Add(1) })
+		if ran.Load() != n {
+			t.Fatalf("limit %d: ran %d tasks, want %d", limit, ran.Load(), n)
+		}
+		if got := reg.Counter("par.batches").Value(); got != 1 {
+			t.Errorf("limit %d: batches = %d, want 1", limit, got)
+		}
+		if got := reg.Counter("par.tasks").Value(); got != n {
+			t.Errorf("limit %d: tasks = %d, want %d", limit, got, n)
+		}
+		if got := reg.Timer("par.queue_wait").Count(); got != n {
+			t.Errorf("limit %d: queue-wait samples = %d, want %d", limit, got, n)
+		}
 	}
 }

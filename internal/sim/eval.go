@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"prete/internal/core"
+	"prete/internal/obs"
 	"prete/internal/par"
 	"prete/internal/routing"
 	"prete/internal/scenario"
@@ -118,6 +119,7 @@ func (ev *Evaluator) staticPlan(schemeName string, demands te.Demands) (*te.Plan
 	case "TeaVar":
 		tv := core.NewTeaVar()
 		tv.Opt.Parallelism = ev.Cfg.Parallelism
+		tv.Opt.Metrics = ev.Cfg.Metrics
 		ep, err := tv.PlanEpoch(core.EpochInput{
 			Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
 			Beta: ev.Cfg.Beta, PI: ev.Env.PI,
@@ -134,6 +136,28 @@ func (ev *Evaluator) staticPlan(schemeName string, demands te.Demands) (*te.Plan
 	return nil, fmt.Errorf("sim: not a static scheme: %q", schemeName)
 }
 
+// evalObs bundles the evaluator's metric handles, resolved once per
+// evaluation so the per-scenario hot loops touch only lock-free atomics.
+// Every handle no-ops when Cfg.Metrics is nil.
+type evalObs struct {
+	degScenarios *obs.Counter // degradation scenarios evaluated
+	scenarios    *obs.Counter // failure scenarios integrated
+	evalTime     *obs.Timer   // wall time per degradation-scenario task
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+}
+
+func (ev *Evaluator) metrics() evalObs {
+	r := ev.Cfg.Metrics
+	return evalObs{
+		degScenarios: r.Counter("sim.deg_scenarios.evaluated"),
+		scenarios:    r.Counter("sim.scenarios.evaluated"),
+		evalTime:     r.Timer("sim.scenario.eval_time"),
+		cacheHits:    r.Counter("sim.plan_cache.hits"),
+		cacheMisses:  r.Counter("sim.plan_cache.misses"),
+	}
+}
+
 // evaluateStatic handles schemes whose plan ignores degradation signals.
 // Degradation scenarios are independent given the (single) pre-failure
 // plan, so they fan out; each worker fills a per-scenario partial vector
@@ -143,15 +167,20 @@ func (ev *Evaluator) evaluateStatic(schemeName string, planned, truth te.Demands
 	if err != nil {
 		return Availability{}, err
 	}
+	m := ev.metrics()
 	nFlows := len(ev.Env.Tunnels.Flows)
 	dss := ev.Env.DegScenarios(ev.Cfg)
 	partials, err := par.MapErr(len(dss), ev.Cfg.Parallelism, func(di int) ([]float64, error) {
+		start := m.evalTime.Start()
+		defer m.evalTime.Stop(start)
+		defer m.degScenarios.Inc()
 		ds := dss[di]
 		probs := ev.Env.TruthProbs(ev.Cfg, ds.Fiber)
 		fs, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
 		if err != nil {
 			return nil, err
 		}
+		m.scenarios.Add(int64(len(fs.Scenarios)))
 		part := make([]float64, nFlows)
 		for _, q := range fs.Scenarios {
 			cut := q.CutSet()
@@ -214,12 +243,15 @@ func (ev *Evaluator) credit(schemeName string, plan *te.Plan, planned, truth te.
 // deterministic build makes both results identical, and the first store
 // wins so every later reader sees one canonical *te.Plan.
 func (ev *Evaluator) cached(cache map[string]*te.Plan, key string, build func() *te.Plan) *te.Plan {
+	m := ev.metrics()
 	ev.mu.Lock()
 	p, ok := cache[key]
 	ev.mu.Unlock()
 	if ok {
+		m.cacheHits.Inc()
 		return p
 	}
+	m.cacheMisses.Inc()
 	p = build()
 	ev.mu.Lock()
 	if prev, ok := cache[key]; ok {
@@ -300,15 +332,20 @@ func cutKey(cut map[topology.FiberID]bool) string {
 // tunnels for the cut fibers. Degradation scenarios fan out; the per-cut
 // oracle plans are shared through the mutex-guarded cache.
 func (ev *Evaluator) evaluateOracle(planned, truth te.Demands) (Availability, error) {
+	m := ev.metrics()
 	nFlows := len(ev.Env.Tunnels.Flows)
 	dss := ev.Env.DegScenarios(ev.Cfg)
 	partials, err := par.MapErr(len(dss), ev.Cfg.Parallelism, func(di int) ([]float64, error) {
+		start := m.evalTime.Start()
+		defer m.evalTime.Stop(start)
+		defer m.degScenarios.Inc()
 		ds := dss[di]
 		probs := ev.Env.TruthProbs(ev.Cfg, ds.Fiber)
 		fs, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
 		if err != nil {
 			return nil, err
 		}
+		m.scenarios.Add(int64(len(fs.Scenarios)))
 		part := make([]float64, nFlows)
 		for _, q := range fs.Scenarios {
 			cut := q.CutSet()
@@ -336,12 +373,15 @@ func (ev *Evaluator) oraclePlan(demands te.Demands, cutList []topology.FiberID) 
 		cut[f] = true
 	}
 	key := cutKey(cut) + fmt.Sprintf("|%f", demands[0])
+	m := ev.metrics()
 	ev.mu.Lock()
 	p, ok := ev.oracleCache[key]
 	ev.mu.Unlock()
 	if ok {
+		m.cacheHits.Inc()
 		return p, nil
 	}
+	m.cacheMisses.Inc()
 	// With future knowledge the oracle pre-establishes detour tunnels for
 	// the fibers about to fail (the Fig 3 behaviour).
 	tunnels := ev.Env.Tunnels
@@ -380,14 +420,19 @@ func (ev *Evaluator) evaluatePreTE(planned, truth te.Demands, ratio float64) (Av
 	p.TunnelRatio = ratio
 	p.ScenarioOpts = ev.Cfg.ScenarioOpts
 	p.Alpha = ev.Cfg.Alpha
+	p.Opt.Metrics = ev.Cfg.Metrics
 	// The fan-out across degradation scenarios owns the worker budget; the
 	// optimizer inside each epoch plan runs serially so the two levels
 	// don't multiply goroutines. (Either choice yields identical results.)
 	p.Opt.Parallelism = 1
 
+	m := ev.metrics()
 	nFlows := len(ev.Env.Tunnels.Flows)
 	dss := ev.Env.DegScenarios(ev.Cfg)
 	partials, err := par.MapErr(len(dss), ev.Cfg.Parallelism, func(di int) ([]float64, error) {
+		start := m.evalTime.Start()
+		defer m.evalTime.Stop(start)
+		defer m.degScenarios.Inc()
 		ds := dss[di]
 		if ds.Fiber < 0 {
 			// Quiet epoch: calibrated plan, no signals.
@@ -468,6 +513,7 @@ func (ev *Evaluator) accumulate(branchProb float64, truth te.Demands, plan *te.P
 	if err != nil {
 		return nil, err
 	}
+	ev.metrics().scenarios.Add(int64(len(fs.Scenarios)))
 	perFlow := make([]float64, len(ev.Env.Tunnels.Flows))
 	for _, q := range fs.Scenarios {
 		cut := q.CutSet()

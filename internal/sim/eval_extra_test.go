@@ -44,6 +44,9 @@ func TestDemandUncertaintyHurts(t *testing.T) {
 // TestPreTERatioZeroMatchesNaive checks the ratio knob is wired through.
 func TestPreTERatioZeroMatchesNaive(t *testing.T) {
 	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
+	if testing.Short() {
 		t.Skip("full evaluation in -short mode")
 	}
 	cfg := fastConfig()
@@ -65,6 +68,9 @@ func TestPreTERatioZeroMatchesNaive(t *testing.T) {
 // TestOracleDominatesEverything: with perfect future knowledge and reactive
 // tunnels, the oracle upper-bounds every other scheme at every scale tested.
 func TestOracleDominatesEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
 	if testing.Short() {
 		t.Skip("full evaluation in -short mode")
 	}
@@ -92,6 +98,9 @@ func TestOracleDominatesEverything(t *testing.T) {
 // TestBetterPredictionNeverHurts: PreTE with oracle-grade prediction must
 // be at least as available as with TeaVar-grade (non-)prediction.
 func TestBetterPredictionNeverHurts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
 	if testing.Short() {
 		t.Skip("full evaluation in -short mode")
 	}

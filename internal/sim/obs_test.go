@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"prete/internal/obs"
+)
+
+// TestEvaluateMetricsInvariant pins the evaluator-level write-only
+// guarantee: per-flow availability is bit-identical with Config.Metrics set
+// or nil, and an instrumented run populates the sim.* series — including
+// plan-cache hits and misses for the schemes that recompute plans.
+func TestEvaluateMetricsInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
+	cfg := fastConfig()
+	env := b4Env(t, cfg)
+	schemes := []string{"TeaVar", "Flexile", "Oracle", "PreTE"}
+
+	plain := NewEvaluator(env, cfg)
+	want := make(map[string]Availability)
+	for _, s := range schemes {
+		a, err := plain.Evaluate(s, 1.5)
+		if err != nil {
+			t.Fatalf("%s without metrics: %v", s, err)
+		}
+		want[s] = a
+	}
+
+	mcfg := cfg
+	mcfg.Metrics = obs.NewRegistry()
+	metered := NewEvaluator(env, mcfg)
+	for _, s := range schemes {
+		got, err := metered.Evaluate(s, 1.5)
+		if err != nil {
+			t.Fatalf("%s with metrics: %v", s, err)
+		}
+		if !reflect.DeepEqual(got, want[s]) {
+			t.Errorf("%s: availability differs with metrics attached", s)
+		}
+	}
+
+	reg := mcfg.Metrics
+	degs := reg.Counter("sim.deg_scenarios.evaluated").Value()
+	wantDegs := int64(len(schemes)) * int64(len(env.DegScenarios(cfg)))
+	if degs != wantDegs {
+		t.Errorf("deg scenarios evaluated = %d, want %d", degs, wantDegs)
+	}
+	if reg.Counter("sim.scenarios.evaluated").Value() == 0 {
+		t.Error("no failure scenarios counted")
+	}
+	if reg.Timer("sim.scenario.eval_time").Count() != wantDegs {
+		t.Errorf("eval_time count = %d, want %d", reg.Timer("sim.scenario.eval_time").Count(), wantDegs)
+	}
+	// Oracle and Flexile consult the plan caches; with multiple degradation
+	// scenarios sharing cut sets there must be both misses (first builds)
+	// and hits (reuses).
+	if reg.Counter("sim.plan_cache.misses").Value() == 0 {
+		t.Error("no plan-cache misses recorded")
+	}
+	if reg.Counter("sim.plan_cache.hits").Value() == 0 {
+		t.Error("no plan-cache hits recorded")
+	}
+	// The evaluator propagates the registry to the optimizers it builds.
+	if reg.Counter("core.benders.iterations").Value() == 0 {
+		t.Error("evaluator did not propagate metrics to core optimizers")
+	}
+}

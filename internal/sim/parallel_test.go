@@ -11,6 +11,9 @@ import (
 // trimmed (fewer scenarios) so the table stays fast; determinism does not
 // depend on scale.
 func TestEvaluateDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
 	schemes := []string{"TeaVar", "ARROW", "Flexile", "PreTE", "Oracle"}
 	for _, topo := range []string{"B4", "IBM"} {
 		cfg := DefaultConfig()

@@ -35,6 +35,9 @@ func TestReplayValidation(t *testing.T) {
 // than TeaVar because predicted cuts find tunnels already in place.
 func TestReplayPreTEBeatsTeaVar(t *testing.T) {
 	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
+	if testing.Short() {
 		t.Skip("replay in -short mode")
 	}
 	tr := replayTrace(t)
@@ -77,6 +80,9 @@ func TestReplayPreTEBeatsTeaVar(t *testing.T) {
 }
 
 func TestReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
 	if testing.Short() {
 		t.Skip("replay in -short mode")
 	}

@@ -16,6 +16,7 @@ package sim
 import (
 	"math"
 
+	"prete/internal/obs"
 	"prete/internal/routing"
 	"prete/internal/scenario"
 	"prete/internal/stats"
@@ -55,6 +56,12 @@ type Config struct {
 	// are bit-identical at every setting — per-scenario partial vectors are
 	// merged in scenario order (see internal/par).
 	Parallelism int
+	// Metrics, when non-nil, receives evaluation counters (degradation and
+	// failure scenarios evaluated, plan-cache hits/misses), per-scenario eval
+	// timings, and — propagated to the optimizers the evaluator constructs —
+	// the core.benders.* series. Metrics are write-only: availability results
+	// are bit-identical with Metrics set or nil.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper-calibrated evaluation constants.

@@ -142,6 +142,9 @@ func TestEvaluateECMPBounds(t *testing.T) {
 // FFC-1, everything above ECMP, Oracle the upper bound of PreTE.
 func TestFig13Ordering(t *testing.T) {
 	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
+	if testing.Short() {
 		t.Skip("full evaluation in -short mode")
 	}
 	cfg := fastConfig()
@@ -169,6 +172,9 @@ func TestFig13Ordering(t *testing.T) {
 
 func TestAvailabilityMonotoneInScale(t *testing.T) {
 	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
+	if testing.Short() {
 		t.Skip("full evaluation in -short mode")
 	}
 	cfg := fastConfig()
@@ -188,6 +194,9 @@ func TestAvailabilityMonotoneInScale(t *testing.T) {
 }
 
 func TestPreTEBeatsNaiveUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes-long evaluation suite; skipped in -short mode")
+	}
 	if testing.Short() {
 		t.Skip("full evaluation in -short mode")
 	}

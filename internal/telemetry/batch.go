@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 
+	"prete/internal/obs"
 	"prete/internal/optical"
 	"prete/internal/par"
 	"prete/internal/topology"
@@ -48,14 +49,27 @@ func (d *Detector) ObserveSeries(samples []optical.Sample) []Event {
 //
 // The returned slice is parallel to series: out[i] holds fiber i's events.
 func ProcessBatch(net *topology.Network, series []FiberSeries, confirmSamples, parallelism int) ([][]FiberEvent, error) {
+	return ProcessBatchObs(net, series, confirmSamples, parallelism, nil)
+}
+
+// ProcessBatchObs is ProcessBatch reporting into a registry: per-batch run,
+// fiber, and event counters plus a telemetry.batch.latency wall-clock timer,
+// and — through each per-fiber detector — the telemetry.samples/events
+// counters. A nil registry is the uninstrumented ProcessBatch.
+func ProcessBatchObs(net *topology.Network, series []FiberSeries, confirmSamples, parallelism int, reg *obs.Registry) ([][]FiberEvent, error) {
 	for _, fs := range series {
 		if fs.Fiber < 0 || fs.Fiber >= len(net.Fibers) {
 			return nil, fmt.Errorf("telemetry: fiber %d out of range [0,%d)", fs.Fiber, len(net.Fibers))
 		}
 	}
-	return par.MapErr(len(series), parallelism, func(i int) ([]FiberEvent, error) {
+	reg.Counter("telemetry.batch.runs").Inc()
+	reg.Counter("telemetry.batch.fibers").Add(int64(len(series)))
+	batchT := reg.Timer("telemetry.batch.latency")
+	batchStart := batchT.Start()
+	out, err := par.MapErr(len(series), parallelism, func(i int) ([]FiberEvent, error) {
 		fs := series[i]
 		det := NewDetector(confirmSamples)
+		det.SetMetrics(reg)
 		events := det.ObserveSeries(Interpolate(fs.Samples))
 		out := make([]FiberEvent, len(events))
 		for ei, ev := range events {
@@ -73,4 +87,13 @@ func ProcessBatch(net *topology.Network, series []FiberSeries, confirmSamples, p
 		}
 		return out, nil
 	})
+	batchT.Stop(batchStart)
+	if err == nil {
+		var n int64
+		for _, evs := range out {
+			n += int64(len(evs))
+		}
+		reg.Counter("telemetry.batch.events").Add(n)
+	}
+	return out, err
 }

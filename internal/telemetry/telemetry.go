@@ -8,6 +8,7 @@ package telemetry
 import (
 	"fmt"
 
+	"prete/internal/obs"
 	"prete/internal/optical"
 )
 
@@ -55,6 +56,13 @@ type Detector struct {
 	candidate optical.State
 	streak    int
 	window    []optical.Sample // degraded samples of the current episode
+
+	// Metric handles, resolved once by SetMetrics; nil handles no-op, so an
+	// uninstrumented detector pays two nil checks per sample.
+	samplesC *obs.Counter
+	eventsC  *obs.Counter
+	degC     *obs.Counter
+	cutsC    *obs.Counter
 }
 
 // NewDetector returns a detector starting in the healthy state.
@@ -65,6 +73,21 @@ func NewDetector(confirmSamples int) *Detector {
 	return &Detector{ConfirmSamples: confirmSamples, state: optical.Healthy, candidate: optical.Healthy}
 }
 
+// SetMetrics points the detector at a registry: telemetry.samples.observed,
+// telemetry.events.detected, telemetry.degradations.detected, and
+// telemetry.cuts.detected. Pass nil to detach. Metrics are write-only; the
+// state machine never reads them.
+func (d *Detector) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		d.samplesC, d.eventsC, d.degC, d.cutsC = nil, nil, nil, nil
+		return
+	}
+	d.samplesC = r.Counter("telemetry.samples.observed")
+	d.eventsC = r.Counter("telemetry.events.detected")
+	d.degC = r.Counter("telemetry.degradations.detected")
+	d.cutsC = r.Counter("telemetry.cuts.detected")
+}
+
 // State returns the detector's current confirmed state.
 func (d *Detector) State() optical.State { return d.state }
 
@@ -72,6 +95,7 @@ func (d *Detector) State() optical.State { return d.state }
 // healthy->cut observation (an abrupt cut, the unpredictable 75% in Fig 5b)
 // yields a CutDetected with an empty window.
 func (d *Detector) Observe(s optical.Sample) []Event {
+	d.samplesC.Inc()
 	observed := optical.Classify(s.ExcessDB)
 	if observed == d.state {
 		d.candidate = d.state
@@ -119,6 +143,15 @@ func (d *Detector) Observe(s optical.Sample) []Event {
 		d.window = append(d.window[:0], s)
 		events = append(events, Event{Type: Repaired, UnixS: s.UnixS},
 			Event{Type: DegradationStart, UnixS: s.UnixS, Window: snapshot(d.window)})
+	}
+	d.eventsC.Add(int64(len(events)))
+	for _, e := range events {
+		switch e.Type {
+		case DegradationStart:
+			d.degC.Inc()
+		case CutDetected:
+			d.cutsC.Inc()
+		}
 	}
 	return events
 }

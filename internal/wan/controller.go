@@ -5,6 +5,8 @@ import (
 	"net"
 	"sort"
 	"time"
+
+	"prete/internal/obs"
 )
 
 // Controller is the centralized TE controller: it holds persistent
@@ -13,6 +15,24 @@ import (
 type Controller struct {
 	conns   map[string]*conn // by switch name
 	Timeout time.Duration
+	// Metrics, when non-nil, receives per-RPC counters (wan.rpc.count,
+	// wan.rpc.errors, wan.rpc.<type>) and a wan.rpc.latency timer. The
+	// instrumentation is write-only; protocol behaviour is unchanged.
+	Metrics *obs.Registry
+}
+
+// rpc wraps a connection round trip with the controller's RPC metrics.
+func (c *Controller) rpc(cn *conn, req *Request) (*Response, error) {
+	t := c.Metrics.Timer("wan.rpc.latency")
+	start := t.Start()
+	resp, err := cn.roundTrip(req, c.Timeout)
+	t.Stop(start)
+	c.Metrics.Counter("wan.rpc.count").Inc()
+	c.Metrics.Counter("wan.rpc." + string(req.Type)).Inc()
+	if err != nil {
+		c.Metrics.Counter("wan.rpc.errors").Inc()
+	}
+	return resp, err
 }
 
 // NewController dials the given agents (name -> address).
@@ -43,7 +63,7 @@ func (c *Controller) Close() error {
 // Ping round-trips every agent (connectivity check).
 func (c *Controller) Ping() error {
 	for name, cn := range c.conns {
-		if _, err := cn.roundTrip(&Request{Type: MsgPing}, c.Timeout); err != nil {
+		if _, err := c.rpc(cn, &Request{Type: MsgPing}); err != nil {
 			return fmt.Errorf("wan: ping %s: %w", name, err)
 		}
 	}
@@ -67,9 +87,9 @@ func (c *Controller) InstallTunnels(installs []TunnelInstall) (time.Duration, er
 		if !ok {
 			return time.Since(start), fmt.Errorf("wan: unknown switch %q", ins.Switch)
 		}
-		if _, err := cn.roundTrip(&Request{
+		if _, err := c.rpc(cn, &Request{
 			Type: MsgInstallTunnel, TunnelID: ins.TunnelID, Path: ins.Path,
-		}, c.Timeout); err != nil {
+		}); err != nil {
 			return time.Since(start), err
 		}
 	}
@@ -87,7 +107,7 @@ func (c *Controller) UpdateRates(rates map[string]float64) (time.Duration, error
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		if _, err := c.conns[n].roundTrip(&Request{Type: MsgUpdateRates, Rates: rates}, c.Timeout); err != nil {
+		if _, err := c.rpc(c.conns[n], &Request{Type: MsgUpdateRates, Rates: rates}); err != nil {
 			return time.Since(start), err
 		}
 	}
@@ -102,7 +122,7 @@ func (c *Controller) RemoveTunnels(installs []TunnelInstall) error {
 		if !ok {
 			return fmt.Errorf("wan: unknown switch %q", ins.Switch)
 		}
-		if _, err := cn.roundTrip(&Request{Type: MsgRemoveTunnel, TunnelID: ins.TunnelID}, c.Timeout); err != nil {
+		if _, err := c.rpc(cn, &Request{Type: MsgRemoveTunnel, TunnelID: ins.TunnelID}); err != nil {
 			return err
 		}
 	}

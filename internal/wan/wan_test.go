@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"prete/internal/obs"
 	"prete/internal/optical"
 )
 
@@ -157,9 +158,25 @@ func TestRunScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tb.Close()
+	reg := obs.NewRegistry()
+	tb.Ctl.Metrics = reg
 	timing, err := tb.RunScenario(7)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Every reaction goes through the controller: the RPC series must be
+	// populated, with zero errors on loopback.
+	if reg.Counter("wan.rpc.count").Value() == 0 {
+		t.Error("no controller RPCs counted")
+	}
+	if reg.Counter("wan.rpc.errors").Value() != 0 {
+		t.Errorf("unexpected RPC errors: %d", reg.Counter("wan.rpc.errors").Value())
+	}
+	if reg.Counter("wan.rpc.install_tunnel").Value() == 0 {
+		t.Error("no install_tunnel RPCs counted")
+	}
+	if reg.Timer("wan.rpc.latency").Count() != reg.Counter("wan.rpc.count").Value() {
+		t.Error("RPC latency samples do not match RPC count")
 	}
 	if timing.TunnelUpdate <= 0 || timing.TECompute <= 0 || timing.ScenarioRegen <= 0 {
 		t.Fatalf("missing stage timings: %+v", timing)

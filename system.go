@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"prete/internal/core"
+	"prete/internal/obs"
 	"prete/internal/optical"
 	"prete/internal/par"
 	"prete/internal/routing"
@@ -37,6 +38,12 @@ type Config struct {
 	// runtime.GOMAXPROCS(0), 1 forces the serial path. Plans and events are
 	// bit-identical at every setting (see internal/par).
 	Parallelism int
+	// Metrics, when non-nil, receives the system's observability series:
+	// telemetry.* from the per-fiber detectors and batch ingestion,
+	// core.epoch.* stage timings, and core.benders.* / core.lp.* from the
+	// optimizer. Metrics are write-only — plans and events are bit-identical
+	// with Metrics set or nil.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's defaults (beta 99%, alpha 25%,
@@ -103,6 +110,7 @@ func NewSystem(net *Network, cfg Config) (*System, error) {
 	engine.TunnelRatio = cfg.TunnelRatio
 	engine.ScenarioOpts = cfg.Scenario
 	engine.Opt.Parallelism = cfg.Parallelism
+	engine.Opt.Metrics = cfg.Metrics
 	return &System{
 		net: net, cfg: cfg, tunnels: tunnels, engine: engine,
 		detectors: make(map[FiberID]*telemetry.Detector),
@@ -138,6 +146,7 @@ func (s *System) Observe(fiber FiberID, sample Sample) ([]telemetry.Event, error
 	det, ok := s.detectors[fiber]
 	if !ok {
 		det = telemetry.NewDetector(s.cfg.ConfirmSamples)
+		det.SetMetrics(s.cfg.Metrics)
 		s.detectors[fiber] = det
 	}
 	events := det.Observe(sample)
@@ -195,10 +204,16 @@ func (s *System) ObserveBatch(series []telemetry.FiberSeries) ([][]telemetry.Eve
 		det, ok := s.detectors[FiberID(fs.Fiber)]
 		if !ok {
 			det = telemetry.NewDetector(s.cfg.ConfirmSamples)
+			det.SetMetrics(s.cfg.Metrics)
 			s.detectors[FiberID(fs.Fiber)] = det
 		}
 		dets[i] = det
 	}
+	reg := s.cfg.Metrics
+	reg.Counter("telemetry.batch.runs").Inc()
+	reg.Counter("telemetry.batch.fibers").Add(int64(len(series)))
+	batchT := reg.Timer("telemetry.batch.latency")
+	batchStart := batchT.Start()
 	// Parallel phase: detector state machine + feature extraction, both
 	// pure per fiber. The predictor (whose forward pass need not be
 	// goroutine-safe) stays out of this phase.
@@ -228,11 +243,14 @@ func (s *System) ObserveBatch(series []telemetry.FiberSeries) ([][]telemetry.Eve
 		}
 		return a
 	})
+	batchT.Stop(batchStart)
 	// Serial phase, in input order: prediction and conduit signal fan-out,
 	// exactly as Observe would apply them.
 	out := make([][]telemetry.Event, len(series))
+	var nEvents int64
 	for i, fs := range series {
 		out[i] = results[i].events
+		nEvents += int64(len(results[i].events))
 		for ei, ev := range results[i].events {
 			switch ev.Type {
 			case telemetry.DegradationStart:
@@ -250,6 +268,7 @@ func (s *System) ObserveBatch(series []telemetry.FiberSeries) ([][]telemetry.Eve
 			}
 		}
 	}
+	reg.Counter("telemetry.batch.events").Add(nEvents)
 	return out, nil
 }
 
