@@ -7,14 +7,22 @@
 //	prete-testbed -fast      # millisecond-scale latencies for CI
 //	prete-testbed -fast -metrics           # JSON metrics snapshot after the run
 //	prete-testbed -debug-addr 127.0.0.1:0  # live /metrics + pprof while running
+//	prete-testbed -fast -faults 'seed=7,drop=0.1,delay=1:50ms'  # chaos run
+//
+// The -faults spec injects deterministic controller<->agent RPC faults
+// (drop, delay, duplicate, corrupt, partition, crash); see internal/fault
+// for the full syntax. Identical -seed and -faults values replay the run
+// bit-identically.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"prete/internal/fault"
 	"prete/internal/obs"
 	"prete/internal/optical"
 	"prete/internal/par"
@@ -27,11 +35,18 @@ func main() {
 		seed      = flag.Uint64("seed", 2025, "random seed")
 		metrics   = flag.Bool("metrics", false, "print a JSON metrics snapshot after the run")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
+		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'seed=7,drop=0.1,delay=0.5:10ms-50ms,crash=0.01:25' (empty = no faults)")
 	)
 	flag.Parse()
 
+	faultSpec, err := fault.ParseSpec(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prete-testbed: -faults: %v\n", err)
+		os.Exit(2)
+	}
+
 	var reg *obs.Registry
-	if *metrics || *debugAddr != "" {
+	if *metrics || *debugAddr != "" || faultSpec.Active() {
 		reg = obs.NewRegistry()
 		reg.PublishExpvar("prete-testbed")
 		par.SetMetrics(reg)
@@ -51,11 +66,21 @@ func main() {
 		cfg.InstallLatency = 3 * time.Millisecond
 		cfg.RateLatency = 300 * time.Microsecond
 	}
-	tb, err := wan.NewTestbed(cfg, func(f optical.Features) float64 {
-		// A fixed high prediction stands in for the trained NN here; run
-		// examples/testbed for the version wired to a trained model.
-		return 0.8
-	})
+	// A fixed high prediction stands in for the trained NN here; run
+	// examples/testbed for the version wired to a trained model.
+	predict := func(f optical.Features) float64 { return 0.8 }
+	var tr wan.Transport = wan.TCPTransport{}
+	var inj *fault.Injector
+	if faultSpec.Active() {
+		inj, err = fault.NewInjector(faultSpec, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: %v\n", err)
+			os.Exit(1)
+		}
+		tr = fault.NewTransport(tr, inj)
+		fmt.Printf("fault injection: %s\n", faultSpec)
+	}
+	tb, err := wan.NewTestbedTransport(cfg, predict, tr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prete-testbed: %v\n", err)
 		os.Exit(1)
@@ -63,6 +88,7 @@ func main() {
 	defer tb.Close()
 	// RPC counters and latency from the controller's round trips.
 	tb.Ctl.Metrics = reg
+	tb.Ctl.Log = wan.NewEventLog()
 
 	timing, err := tb.RunScenario(*seed)
 	if err != nil {
@@ -77,6 +103,21 @@ func main() {
 	fmt.Printf("  TE compute       %8.2f ms\n", ms(timing.TECompute))
 	fmt.Printf("  rate install     %8.2f ms\n", ms(timing.RateInstall))
 	fmt.Printf("  total            %8.2f ms\n", ms(timing.Total()))
+	if inj != nil {
+		fmt.Println("\nControl-plane degradation:")
+		fmt.Printf("  faults injected  %8d (of %d faultable RPCs)\n",
+			reg.Counter("fault.rpcs").Value()-noneCount(inj), reg.Counter("fault.rpcs").Value())
+		fmt.Printf("  rpc retries      %8d\n", reg.Counter("wan.rpc.retries").Value())
+		fmt.Printf("  rpc give-ups     %8d\n", reg.Counter("wan.rpc.giveups").Value())
+		fmt.Printf("  fallback rounds  %8d (rates) / %d (tunnels)\n",
+			reg.Counter("wan.fallback.rounds").Value(),
+			reg.Counter("wan.fallback.tunnel_rounds").Value())
+		if timing.Degraded {
+			fmt.Println("  plan: DEGRADED — last good plan kept where the fresh one could not be installed")
+		} else {
+			fmt.Println("  plan: fresh plan fully installed despite injected faults")
+		}
+	}
 
 	counts := []int{1, 5, 10, 20}
 	scaling, err := wan.MeasureInstallScaling(cfg, counts)
@@ -99,3 +140,15 @@ func main() {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// noneCount tallies the injector decisions that left the RPC untouched, so
+// the summary can report how many RPCs were actually perturbed.
+func noneCount(inj *fault.Injector) int64 {
+	var n int64
+	for _, e := range inj.History() {
+		if strings.HasSuffix(e, ":none") {
+			n++
+		}
+	}
+	return n
+}

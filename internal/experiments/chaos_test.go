@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"prete/internal/obs"
+)
+
+// TestChaosExperiment runs the quick chaos sweep end to end and checks the
+// table's structure and invariants: a fault-free baseline cell with zero
+// degradation, plan availability within [0,1] everywhere, and the wan.*
+// control-plane series mirrored into the caller's registry. Wall-clock
+// columns are not asserted — they are the only nondeterministic output.
+func TestChaosExperiment(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	if err := Run("chaos", &buf, Options{Seed: 2025, Quick: true, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var rows [][]string
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "==") || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "drop") {
+			continue
+		}
+		rows = append(rows, strings.Split(line, "\t"))
+	}
+	if len(rows) != 4 { // quick mode: 2 drops x 2 delays
+		t.Fatalf("chaos quick sweep printed %d cells, want 4:\n%s", len(rows), out)
+	}
+	for i, row := range rows {
+		if len(row) != 9 {
+			t.Fatalf("row %d has %d columns, want 9: %v", i, len(row), row)
+		}
+		avail, err := strconv.ParseFloat(row[8], 64)
+		if err != nil || avail < 0 || avail > 1 {
+			t.Errorf("row %d plan_avail = %q, want a fraction in [0,1]", i, row[8])
+		}
+		degraded, _ := strconv.Atoi(row[3])
+		rounds, _ := strconv.Atoi(row[2])
+		if want := 1 - float64(degraded)/float64(rounds); avail != want {
+			t.Errorf("row %d plan_avail %v inconsistent with degraded %d/%d", i, avail, degraded, rounds)
+		}
+	}
+	// The baseline cell is fault-free: no retries, no degradation, zero delta.
+	base := rows[0]
+	if base[0] != "0.00" || base[1] != "0" {
+		t.Fatalf("first cell is not the fault-free baseline: %v", base)
+	}
+	if base[3] != "0" || base[4] != "0" || base[5] != "0" {
+		t.Errorf("fault-free baseline shows degradation or retries: %v", base)
+	}
+	if base[7] != "+0.0" {
+		t.Errorf("baseline delta = %q, want +0.0", base[7])
+	}
+	if base[8] != "1.00" {
+		t.Errorf("baseline availability = %q, want 1.00", base[8])
+	}
+	// The faulted cells must actually have perturbed the control plane, and
+	// the series must be visible through Options.Metrics.
+	if reg.Counter("fault.rpcs").Value() == 0 {
+		t.Error("fault.rpcs not mirrored into the experiment registry")
+	}
+	if reg.Counter("wan.rpc.count").Value() == 0 {
+		t.Error("wan.rpc.count not mirrored into the experiment registry")
+	}
+	if reg.Counter("wan.rpc.retries").Value() == 0 {
+		t.Error("a 10% drop sweep produced no retries at all")
+	}
+}

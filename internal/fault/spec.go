@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses the -faults flag syntax: a comma-separated list of
+// key=value clauses.
+//
+//	seed=7                      decision-stream seed (default 0)
+//	drop=0.1                    drop probability per RPC attempt
+//	delay=0.5:10ms-50ms         delay probability : uniform duration range
+//	delay=1:50ms                fixed 50ms delay (min == max)
+//	dup=0.01                    duplicate-delivery probability
+//	corrupt=0.02                corrupt-delivery probability
+//	partition=0.005:20          partition probability : outage length (RPCs)
+//	crash=0.002:50              crash probability : outage length (RPCs)
+//
+// The empty string parses to the zero Spec (no faults).
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, clause := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(clause), "=")
+		if !ok || val == "" {
+			return Spec{}, fmt.Errorf("fault: clause %q is not key=value", clause)
+		}
+		var err error
+		switch key {
+		case "seed":
+			spec.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "drop":
+			spec.Drop, err = parseProb(key, val)
+		case "dup":
+			spec.Duplicate, err = parseProb(key, val)
+		case "corrupt":
+			spec.Corrupt, err = parseProb(key, val)
+		case "delay":
+			prob, rest, hasRange := strings.Cut(val, ":")
+			spec.DelayProb, err = parseProb(key, prob)
+			if err == nil && hasRange {
+				spec.DelayMin, spec.DelayMax, err = parseDurRange(rest)
+			} else if err == nil {
+				err = fmt.Errorf("fault: delay needs a duration, e.g. delay=%s:10ms-50ms", prob)
+			}
+		case "partition":
+			spec.Partition, spec.PartitionRPCs, err = parseProbCount(key, val)
+		case "crash":
+			spec.Crash, spec.CrashRPCs, err = parseProbCount(key, val)
+		default:
+			return Spec{}, fmt.Errorf("fault: unknown clause %q (want seed, drop, delay, dup, corrupt, partition, crash)", key)
+		}
+		if err != nil {
+			return Spec{}, err
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+func parseProb(key, val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("fault: %s=%s is not a probability in [0, 1]", key, val)
+	}
+	return p, nil
+}
+
+func parseDurRange(s string) (time.Duration, time.Duration, error) {
+	lo, hi, isRange := strings.Cut(s, "-")
+	min, err := time.ParseDuration(lo)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fault: bad duration %q: %v", lo, err)
+	}
+	max := min
+	if isRange {
+		if max, err = time.ParseDuration(hi); err != nil {
+			return 0, 0, fmt.Errorf("fault: bad duration %q: %v", hi, err)
+		}
+	}
+	if min < 0 || max < min {
+		return 0, 0, fmt.Errorf("fault: delay range %q must satisfy 0 <= min <= max", s)
+	}
+	return min, max, nil
+}
+
+func parseProbCount(key, val string) (float64, int, error) {
+	probStr, countStr, hasCount := strings.Cut(val, ":")
+	p, err := parseProb(key, probStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	count := 0
+	if hasCount {
+		if count, err = strconv.Atoi(countStr); err != nil || count < 1 {
+			return 0, 0, fmt.Errorf("fault: %s outage length %q is not a positive RPC count", key, countStr)
+		}
+	}
+	return p, count, nil
+}
+
+// String renders the spec back into ParseSpec syntax (empty for the zero
+// spec); ParseSpec(spec.String()) round-trips.
+func (s Spec) String() string {
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	if s.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", s.Drop))
+	}
+	if s.DelayProb > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%g:%s-%s", s.DelayProb, s.DelayMin, s.DelayMax))
+	}
+	if s.Duplicate > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", s.Duplicate))
+	}
+	if s.Corrupt > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g", s.Corrupt))
+	}
+	if s.Partition > 0 {
+		parts = append(parts, probCountClause("partition", s.Partition, s.PartitionRPCs))
+	}
+	if s.Crash > 0 {
+		parts = append(parts, probCountClause("crash", s.Crash, s.CrashRPCs))
+	}
+	return strings.Join(parts, ",")
+}
+
+func probCountClause(key string, p float64, count int) string {
+	if count < 1 {
+		// The outage length defaults at NewInjector time; omit it so the
+		// rendered clause re-parses.
+		return fmt.Sprintf("%s=%g", key, p)
+	}
+	return fmt.Sprintf("%s=%g:%d", key, p, count)
+}

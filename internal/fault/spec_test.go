@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSpecFull(t *testing.T) {
+	s, err := ParseSpec("seed=7,drop=0.1,delay=0.5:10ms-50ms,dup=0.01,corrupt=0.02,partition=0.005:20,crash=0.002:50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		Seed: 7, Drop: 0.1, DelayProb: 0.5, DelayMin: 10 * time.Millisecond,
+		DelayMax: 50 * time.Millisecond, Duplicate: 0.01, Corrupt: 0.02,
+		Partition: 0.005, PartitionRPCs: 20, Crash: 0.002, CrashRPCs: 50,
+	}
+	if s != want {
+		t.Fatalf("parsed %+v, want %+v", s, want)
+	}
+	if !s.Active() {
+		t.Fatal("full spec should be active")
+	}
+}
+
+func TestParseSpecEmptyAndFixedDelay(t *testing.T) {
+	s, err := ParseSpec("")
+	if err != nil || s.Active() {
+		t.Fatalf("empty spec: %+v, %v", s, err)
+	}
+	s, err = ParseSpec("delay=1:50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DelayMin != 50*time.Millisecond || s.DelayMax != 50*time.Millisecond {
+		t.Fatalf("fixed delay parsed as [%v, %v]", s.DelayMin, s.DelayMax)
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"drop=2",              // probability out of range
+		"drop=-0.1",           // negative
+		"drop",                // not key=value
+		"nope=0.5",            // unknown clause
+		"delay=0.5",           // missing duration
+		"delay=0.5:50ms-10ms", // max < min
+		"partition=0.5:0",     // zero outage
+		"crash=0.5:-3",        // negative outage
+		"seed=abc",            // non-numeric seed
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"drop=0.1",
+		"seed=9,drop=0.25,delay=1:50ms-50ms,dup=0.01,corrupt=0.02,partition=0.005:20,crash=0.002:50",
+		"partition=0.1", // outage length left to the injector default
+	} {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q.String()=%q): %v", in, s.String(), err)
+		}
+		if back != s {
+			t.Errorf("round trip of %q: %+v != %+v", in, back, s)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzReader decodes a fuzz byte stream into small LP building blocks. Every
+// decoder is total — an exhausted stream yields zeros — so any input maps to
+// a well-formed problem.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// coeff maps one byte to a coefficient in [-8, 8) in steps of 1/16, keeping
+// the arithmetic well inside float64's exact range.
+func (r *fuzzReader) coeff() float64 { return (float64(r.byte()) - 128) / 16 }
+
+// pos01 maps one byte to a nonnegative value in [0, 4).
+func (r *fuzzReader) pos01() float64 { return float64(r.byte()) / 64 }
+
+// FuzzSimplex drives the two-phase simplex with random LPs built around a
+// known feasible point x0: every constraint's RHS is derived from a.x0 so
+// the problem is feasible by construction. The solver must never panic,
+// never report Infeasible, and when it claims Optimal the returned point
+// must satisfy every constraint and beat (or match) x0's objective —
+// Unbounded and IterationLimit are legitimate outcomes for minimization
+// with free negative directions or degenerate cycling.
+func FuzzSimplex(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 7, 1, 200, 50, 130, 0, 100, 9, 255, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Add([]byte{1, 1, 255, 0, 255, 255, 255})
+	f.Add([]byte{5, 200, 100, 50, 25, 12, 6, 3, 1, 0, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		nVars := 1 + int(r.byte())%6
+		nCons := int(r.byte()) % 9
+
+		p := NewProblem()
+		x0 := make([]float64, nVars)
+		for i := 0; i < nVars; i++ {
+			p.AddVar(r.coeff(), "x")
+			x0[i] = r.pos01()
+		}
+		type row struct {
+			terms []Term
+			op    Op
+			rhs   float64
+		}
+		rows := make([]row, 0, nCons)
+		for c := 0; c < nCons; c++ {
+			nTerms := 1 + int(r.byte())%nVars
+			terms := make([]Term, 0, nTerms)
+			dot := 0.0
+			for k := 0; k < nTerms; k++ {
+				v := int(r.byte()) % nVars // duplicates allowed: exercises mergeTerms
+				co := r.coeff()
+				terms = append(terms, Term{Var: v, Coeff: co})
+				dot += co * x0[v]
+			}
+			op := Op(int(r.byte()) % 3)
+			rhs := dot
+			switch op {
+			case LE:
+				rhs = dot + r.pos01() // x0 satisfies a.x0 <= rhs
+			case GE:
+				rhs = dot - r.pos01() // x0 satisfies a.x0 >= rhs
+			}
+			if _, err := p.AddConstraint(terms, op, rhs, "c"); err != nil {
+				t.Fatalf("constraint rejected: %v", err)
+			}
+			rows = append(rows, row{terms, op, rhs})
+		}
+
+		sol := p.Solve()
+		switch sol.Status {
+		case Infeasible:
+			t.Fatalf("solver claims infeasible but x0=%v is feasible by construction", x0)
+		case Unbounded, IterationLimit:
+			return
+		}
+
+		// Optimal: the returned point must be primal-feasible and at least as
+		// good as the known feasible point.
+		const tol = 1e-6
+		if len(sol.X) != nVars {
+			t.Fatalf("solution has %d vars, want %d", len(sol.X), nVars)
+		}
+		objX0 := 0.0
+		for i := 0; i < nVars; i++ {
+			if sol.X[i] < -tol || math.IsNaN(sol.X[i]) || math.IsInf(sol.X[i], 0) {
+				t.Fatalf("x[%d] = %v violates x >= 0", i, sol.X[i])
+			}
+			objX0 += p.objective[i] * x0[i]
+		}
+		if sol.Objective > objX0+tol {
+			t.Fatalf("optimal objective %v worse than feasible point's %v", sol.Objective, objX0)
+		}
+		for ci, c := range rows {
+			lhs := 0.0
+			for _, term := range c.terms {
+				lhs += term.Coeff * sol.X[term.Var]
+			}
+			switch c.op {
+			case LE:
+				if lhs > c.rhs+tol {
+					t.Fatalf("constraint %d violated: %v <= %v", ci, lhs, c.rhs)
+				}
+			case GE:
+				if lhs < c.rhs-tol {
+					t.Fatalf("constraint %d violated: %v >= %v", ci, lhs, c.rhs)
+				}
+			case EQ:
+				if math.Abs(lhs-c.rhs) > tol {
+					t.Fatalf("constraint %d violated: %v == %v", ci, lhs, c.rhs)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// smokeConfig trims the evaluation far below fastConfig so a single-scale
+// sweep of every scheme fits in the -short budget: the point is exercising
+// each evaluation path (static, oracle, PreTE, caches, restoration), not
+// reproducing the paper's numbers — the full-fidelity runs stay behind the
+// non-short suite.
+func smokeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ScenarioOpts.MaxScenarios = 40
+	cfg.MaxDegScenarios = 2
+	return cfg
+}
+
+// TestEvaluateAllSchemesSmoke runs every scheme once at a low demand scale
+// and checks the cross-scheme invariants that hold regardless of fidelity:
+// availabilities are probabilities, the oracle is never beaten by more than
+// tolerance, and ECMP never beats the availability-aware schemes.
+func TestEvaluateAllSchemesSmoke(t *testing.T) {
+	cfg := smokeConfig()
+	env := b4Env(t, cfg)
+	ev := NewEvaluator(env, cfg)
+	const scale = 1.0
+	avail := map[string]Availability{}
+	for _, scheme := range []string{"ECMP", "FFC-1", "FFC-2", "TeaVar", "ARROW", "Flexile", "Oracle", "PreTE", "PreTE-naive"} {
+		a, err := ev.Evaluate(scheme, scale)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if a.Mean < 0 || a.Mean > 1 || a.Min < 0 || a.Min > 1+1e-12 {
+			t.Fatalf("%s: availability out of [0,1]: %+v", scheme, a)
+		}
+		if a.Min > a.Mean+1e-12 {
+			t.Fatalf("%s: min availability %v above mean %v", scheme, a.Min, a.Mean)
+		}
+		avail[scheme] = a
+	}
+	oracle := avail["Oracle"].Mean
+	for scheme, a := range avail {
+		if a.Mean > oracle+1e-6 {
+			t.Errorf("%s mean availability %v beats the oracle's %v", scheme, a.Mean, oracle)
+		}
+	}
+	if avail["PreTE"].Mean+1e-9 < avail["ECMP"].Mean {
+		t.Errorf("PreTE (%v) below ECMP (%v) at scale %v", avail["PreTE"].Mean, avail["ECMP"].Mean, scale)
+	}
+	if got, err := ev.Evaluate("no-such-scheme", scale); err == nil {
+		t.Fatalf("unknown scheme accepted: %+v", got)
+	}
+}
+
+// TestPreTERatioEndpointsSmoke checks the §6.4 ratio knob endpoints cheaply:
+// ratio 0 must reproduce PreTE-naive exactly (same code path, same plans),
+// and ratio 1 must reproduce PreTE.
+func TestPreTERatioEndpointsSmoke(t *testing.T) {
+	cfg := smokeConfig()
+	env := b4Env(t, cfg)
+	ev := NewEvaluator(env, cfg)
+	const scale = 1.0
+	naive, err := ev.Evaluate("PreTE-naive", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRatio0, err := ev.EvaluatePreTERatio(scale, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(naive, viaRatio0) {
+		t.Errorf("ratio 0 (%+v) differs from PreTE-naive (%+v)", viaRatio0, naive)
+	}
+	full, err := ev.Evaluate("PreTE", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRatio1, err := ev.EvaluatePreTERatio(scale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, viaRatio1) {
+		t.Errorf("ratio 1 (%+v) differs from PreTE (%+v)", viaRatio1, full)
+	}
+}

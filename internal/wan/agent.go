@@ -44,8 +44,12 @@ type SwitchAgent struct {
 	tunnels map[int][]int
 	rates   map[string]float64
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // NewSwitchAgent starts an agent listening on a fresh loopback port.
@@ -58,6 +62,7 @@ func NewSwitchAgent(name string, cfg SwitchConfig) (*SwitchAgent, error) {
 		Name: name, cfg: cfg, ln: ln,
 		tunnels: make(map[int][]int),
 		rates:   make(map[string]float64),
+		conns:   make(map[*conn]struct{}),
 		closed:  make(chan struct{}),
 	}
 	a.wg.Add(1)
@@ -68,12 +73,44 @@ func NewSwitchAgent(name string, cfg SwitchConfig) (*SwitchAgent, error) {
 // Addr returns the agent's listen address.
 func (a *SwitchAgent) Addr() string { return a.ln.Addr().String() }
 
-// Close stops the agent and waits for its handlers.
+// Close stops the agent and waits for its handlers: the listener and every
+// live connection are severed, so serve goroutines blocked mid-read unwind
+// instead of pinning Close forever (an agent "restart" must not depend on
+// the controller hanging up first). Close is idempotent, so test helpers
+// can register it with t.Cleanup while tests also close explicitly.
 func (a *SwitchAgent) Close() error {
-	close(a.closed)
-	err := a.ln.Close()
-	a.wg.Wait()
+	var err error
+	a.closeOnce.Do(func() {
+		close(a.closed)
+		err = a.ln.Close()
+		a.connMu.Lock()
+		for c := range a.conns {
+			c.close()
+		}
+		a.connMu.Unlock()
+		a.wg.Wait()
+	})
 	return err
+}
+
+// track registers a live connection for shutdown; it returns false when the
+// agent is already closing and the connection should be dropped.
+func (a *SwitchAgent) track(c *conn) bool {
+	a.connMu.Lock()
+	defer a.connMu.Unlock()
+	select {
+	case <-a.closed:
+		return false
+	default:
+	}
+	a.conns[c] = struct{}{}
+	return true
+}
+
+func (a *SwitchAgent) untrack(c *conn) {
+	a.connMu.Lock()
+	delete(a.conns, c)
+	a.connMu.Unlock()
 }
 
 // NumTunnels returns the current tunnel-table size.
@@ -109,10 +146,16 @@ func (a *SwitchAgent) acceptLoop() {
 			}
 			continue
 		}
+		cn := newConn(c)
+		if !a.track(cn) {
+			cn.close()
+			continue
+		}
 		a.wg.Add(1)
 		go func() {
 			defer a.wg.Done()
-			a.serve(newConn(c))
+			defer a.untrack(cn)
+			a.serve(cn)
 		}()
 	}
 }

@@ -2,68 +2,186 @@ package wan
 
 import (
 	"fmt"
-	"net"
 	"sort"
+	"sync"
 	"time"
 
 	"prete/internal/obs"
+	"prete/internal/stats"
 )
+
+// RetryPolicy bounds the controller's per-RPC retry loop: up to MaxAttempts
+// tries per request, waiting a capped exponential backoff between attempts.
+// Jitter is the fraction of each backoff randomized away (0 = fixed waits,
+// 1 = anywhere in [0, backoff]); the jitter stream is seeded, so sleep
+// durations — like everything else in a chaos run — replay from a seed.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	Jitter      float64
+}
+
+// DefaultRetryPolicy matches the testbed's loopback latencies: four
+// attempts, 5 ms initial backoff doubling to a 200 ms cap, half jittered.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 200 * time.Millisecond, Jitter: 0.5}
+}
+
+// backoff returns the wait before retry number retry (1-based).
+func (p RetryPolicy) backoff(retry int, rng *stats.RNG) time.Duration {
+	d := p.BaseBackoff
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 && rng != nil {
+		// Subtract up to Jitter*d: full-jitter-style spreading that never
+		// waits longer than the deterministic schedule.
+		d -= time.Duration(p.Jitter * rng.Float64() * float64(d))
+	}
+	return d
+}
 
 // Controller is the centralized TE controller: it holds persistent
 // connections to every switch agent, installs tunnels serially across the
-// fleet, and pushes rate-adaptation updates.
+// fleet, and pushes rate-adaptation updates. RPCs that fail at the
+// transport level are retried under Retry with capped exponential backoff;
+// a request the fleet ultimately cannot absorb is surfaced as an error and
+// the degradation ladder (UpdateRatesWithFallback, Testbed.RunScenario)
+// falls back to the last good plan instead of wedging.
 type Controller struct {
-	conns   map[string]*conn // by switch name
+	conns map[string]Conn // by switch name
+	// Timeout bounds one RPC attempt (not the whole retry loop).
 	Timeout time.Duration
+	// Retry is the per-RPC retry/backoff policy.
+	Retry RetryPolicy
 	// Metrics, when non-nil, receives per-RPC counters (wan.rpc.count,
-	// wan.rpc.errors, wan.rpc.<type>) and a wan.rpc.latency timer. The
-	// instrumentation is write-only; protocol behaviour is unchanged.
+	// wan.rpc.errors, wan.rpc.retries, wan.rpc.giveups, wan.rpc.<type>),
+	// the wan.rpc.latency and wan.rpc.backoff timers, and the wan.fallback.*
+	// series. The instrumentation is write-only; protocol behaviour is
+	// unchanged.
 	Metrics *obs.Registry
+	// Log, when non-nil, records the ordered control-plane event sequence
+	// (RPC outcomes, retries, fallbacks) without wall-clock values, so
+	// seeded chaos runs can be diffed for bit-identical replay.
+	Log *EventLog
+
+	rng *stats.RNG // backoff jitter stream
+
+	mu        sync.Mutex
+	lastRates map[string]float64 // last table pushed fleet-wide without error
 }
 
-// rpc wraps a connection round trip with the controller's RPC metrics.
-func (c *Controller) rpc(cn *conn, req *Request) (*Response, error) {
-	t := c.Metrics.Timer("wan.rpc.latency")
-	start := t.Start()
-	resp, err := cn.roundTrip(req, c.Timeout)
-	t.Stop(start)
-	c.Metrics.Counter("wan.rpc.count").Inc()
-	c.Metrics.Counter("wan.rpc." + string(req.Type)).Inc()
-	if err != nil {
-		c.Metrics.Counter("wan.rpc.errors").Inc()
-	}
-	return resp, err
-}
-
-// NewController dials the given agents (name -> address).
+// NewController dials the given agents (name -> address) over TCP.
 func NewController(agents map[string]string) (*Controller, error) {
-	c := &Controller{conns: make(map[string]*conn, len(agents)), Timeout: 10 * time.Second}
-	for name, addr := range agents {
-		raw, err := net.Dial("tcp", addr)
+	return NewControllerTransport(TCPTransport{}, agents)
+}
+
+// NewControllerTransport dials the agents through tr (the fault-injection
+// tests and the -faults testbed flag pass a fault.Transport here). Agents
+// are dialed in sorted name order so any per-dial side effects replay
+// deterministically.
+func NewControllerTransport(tr Transport, agents map[string]string) (*Controller, error) {
+	c := &Controller{
+		conns:   make(map[string]Conn, len(agents)),
+		Timeout: 10 * time.Second,
+		Retry:   DefaultRetryPolicy(),
+		rng:     stats.NewRNG(0x77a11c0de),
+	}
+	for _, name := range sortedNames(agents) {
+		cn, err := tr.Dial(name, agents[name])
 		if err != nil {
 			c.Close()
-			return nil, fmt.Errorf("wan: dial %s (%s): %w", name, addr, err)
+			return nil, err
 		}
-		c.conns[name] = newConn(raw)
+		c.conns[name] = cn
 	}
 	return c, nil
 }
+
+func sortedNames(m map[string]string) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SeedBackoffJitter reseeds the jitter stream (part of a chaos experiment's
+// reproducible identity; the default seed is fixed, so this is optional).
+func (c *Controller) SeedBackoffJitter(seed uint64) { c.rng = stats.NewRNG(seed) }
 
 // Close tears down all connections.
 func (c *Controller) Close() error {
 	var first error
 	for _, cn := range c.conns {
-		if err := cn.close(); err != nil && first == nil {
+		if err := cn.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
 }
 
-// Ping round-trips every agent (connectivity check).
+// rpc wraps a connection round trip with the controller's retry loop and
+// RPC metrics. Transport-level failures are retried up to
+// Retry.MaxAttempts with capped exponential backoff; application-level
+// rejections (the switch parsed and refused the request) return
+// immediately, since retrying identical content cannot succeed.
+func (c *Controller) rpc(name string, cn Conn, req *Request) (*Response, error) {
+	pol := c.Retry
+	if pol.MaxAttempts < 1 {
+		pol.MaxAttempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		t := c.Metrics.Timer("wan.rpc.latency")
+		start := t.Start()
+		resp, err := cn.RoundTrip(req, c.Timeout)
+		t.Stop(start)
+		c.Metrics.Counter("wan.rpc.count").Inc()
+		c.Metrics.Counter("wan.rpc." + string(req.Type)).Inc()
+		if err == nil {
+			c.Log.Addf("rpc %s %s ok", name, req.Type)
+			return resp, nil
+		}
+		c.Metrics.Counter("wan.rpc.errors").Inc()
+		if resp != nil {
+			c.Log.Addf("rpc %s %s rejected", name, req.Type)
+			return resp, err
+		}
+		if attempt >= pol.MaxAttempts {
+			c.Metrics.Counter("wan.rpc.giveups").Inc()
+			c.Log.Addf("rpc %s %s giveup attempt=%d", name, req.Type, attempt)
+			return nil, fmt.Errorf("wan: %s %s failed after %d attempts: %w", name, req.Type, attempt, err)
+		}
+		c.Metrics.Counter("wan.rpc.retries").Inc()
+		c.Log.Addf("rpc %s %s retry attempt=%d", name, req.Type, attempt)
+		bt := c.Metrics.Timer("wan.rpc.backoff")
+		bstart := bt.Start()
+		time.Sleep(pol.backoff(attempt, c.rng))
+		bt.Stop(bstart)
+	}
+}
+
+// Ping round-trips every agent (connectivity check) in name order.
 func (c *Controller) Ping() error {
-	for name, cn := range c.conns {
-		if _, err := c.rpc(cn, &Request{Type: MsgPing}); err != nil {
+	names := make([]string, 0, len(c.conns))
+	for n := range c.conns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := c.rpc(name, c.conns[name], &Request{Type: MsgPing}); err != nil {
 			return fmt.Errorf("wan: ping %s: %w", name, err)
 		}
 	}
@@ -79,7 +197,8 @@ type TunnelInstall struct {
 
 // InstallTunnels programs the given tunnels one at a time — the serialized
 // production behaviour of §5 — and returns the total wall time (Fig 11b's
-// y-axis).
+// y-axis). Tunnel installation is idempotent on the agent (re-programming
+// an ID overwrites it), so retried deliveries are harmless.
 func (c *Controller) InstallTunnels(installs []TunnelInstall) (time.Duration, error) {
 	start := time.Now()
 	for _, ins := range installs {
@@ -87,7 +206,7 @@ func (c *Controller) InstallTunnels(installs []TunnelInstall) (time.Duration, er
 		if !ok {
 			return time.Since(start), fmt.Errorf("wan: unknown switch %q", ins.Switch)
 		}
-		if _, err := c.rpc(cn, &Request{
+		if _, err := c.rpc(ins.Switch, cn, &Request{
 			Type: MsgInstallTunnel, TunnelID: ins.TunnelID, Path: ins.Path,
 		}); err != nil {
 			return time.Since(start), err
@@ -98,7 +217,8 @@ func (c *Controller) InstallTunnels(installs []TunnelInstall) (time.Duration, er
 
 // UpdateRates pushes a rate-adaptation table to every switch ("only
 // requires updating match-action entries at few switches", §2.1) and
-// returns the wall time.
+// returns the wall time. On full success the table is remembered as the
+// fleet's last good plan (LastGoodRates).
 func (c *Controller) UpdateRates(rates map[string]float64) (time.Duration, error) {
 	start := time.Now()
 	names := make([]string, 0, len(c.conns))
@@ -107,11 +227,70 @@ func (c *Controller) UpdateRates(rates map[string]float64) (time.Duration, error
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		if _, err := c.rpc(c.conns[n], &Request{Type: MsgUpdateRates, Rates: rates}); err != nil {
+		if _, err := c.rpc(n, c.conns[n], &Request{Type: MsgUpdateRates, Rates: rates}); err != nil {
 			return time.Since(start), err
 		}
 	}
+	c.setLastGoodRates(rates)
 	return time.Since(start), nil
+}
+
+// UpdateRatesWithFallback pushes a rate table and, when the round cannot
+// complete even after per-RPC retries, degrades gracefully instead of
+// wedging: the failure is recorded (wan.fallback.rounds), and the last good
+// table — the previous installed plan — is best-effort re-asserted so
+// agents that accepted the partial update converge back to a consistent
+// fleet-wide state. Agents are never left rate-less: a failed update leaves
+// each agent's previously installed table in place. The returned flag
+// reports whether the round fell back; err carries the original failure for
+// diagnostics (a fallen-back round is not fatal to the §5 pipeline).
+func (c *Controller) UpdateRatesWithFallback(rates map[string]float64) (time.Duration, bool, error) {
+	d, err := c.UpdateRates(rates)
+	if err == nil {
+		return d, false, nil
+	}
+	c.Metrics.Counter("wan.fallback.rounds").Inc()
+	c.Log.Addf("fallback rates")
+	if last := c.LastGoodRates(); last != nil {
+		t := c.Metrics.Timer("wan.fallback.restore")
+		start := t.Start()
+		if _, rerr := c.UpdateRates(last); rerr != nil {
+			// Even the restore failed; agents keep whatever table they
+			// have (old or new), which still routes traffic.
+			c.Metrics.Counter("wan.fallback.restore_errors").Inc()
+			c.Log.Addf("fallback restore failed")
+		} else {
+			c.Metrics.Counter("wan.fallback.restores").Inc()
+			c.Log.Addf("fallback restored last good")
+		}
+		t.Stop(start)
+	}
+	return d, true, err
+}
+
+// LastGoodRates returns a copy of the most recent rate table that was
+// pushed to every agent without error, or nil if none has succeeded yet.
+func (c *Controller) LastGoodRates() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastRates == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(c.lastRates))
+	for k, v := range c.lastRates {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *Controller) setLastGoodRates(rates map[string]float64) {
+	cp := make(map[string]float64, len(rates))
+	for k, v := range rates {
+		cp[k] = v
+	}
+	c.mu.Lock()
+	c.lastRates = cp
+	c.mu.Unlock()
 }
 
 // RemoveTunnels deletes tunnels (the §4.2 restoration to the original
@@ -122,7 +301,7 @@ func (c *Controller) RemoveTunnels(installs []TunnelInstall) error {
 		if !ok {
 			return fmt.Errorf("wan: unknown switch %q", ins.Switch)
 		}
-		if _, err := c.rpc(cn, &Request{Type: MsgRemoveTunnel, TunnelID: ins.TunnelID}); err != nil {
+		if _, err := c.rpc(ins.Switch, cn, &Request{Type: MsgRemoveTunnel, TunnelID: ins.TunnelID}); err != nil {
 			return err
 		}
 	}

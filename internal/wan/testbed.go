@@ -28,6 +28,11 @@ type PipelineTiming struct {
 	ScenarioRegen time.Duration
 	TECompute     time.Duration
 	RateInstall   time.Duration
+	// Degraded reports that the round completed through the graceful
+	// degradation ladder rather than cleanly: a control-plane stage failed
+	// even after per-RPC retries, and the pipeline fell back (previous
+	// tunnel set, or last-good rates) instead of wedging.
+	Degraded bool
 }
 
 // Total returns the end-to-end reaction latency.
@@ -49,8 +54,16 @@ type Testbed struct {
 	PI []float64
 }
 
-// NewTestbed builds the triangle testbed with the given switch latencies.
+// NewTestbed builds the triangle testbed with the given switch latencies
+// over the production TCP transport.
 func NewTestbed(cfg SwitchConfig, predict Predictor) (*Testbed, error) {
+	return NewTestbedTransport(cfg, predict, TCPTransport{})
+}
+
+// NewTestbedTransport builds the testbed with the controller dialing
+// through tr — the chaos experiments pass a fault.Transport here to inject
+// deterministic control-plane faults between controller and agents.
+func NewTestbedTransport(cfg SwitchConfig, predict Predictor, tr Transport) (*Testbed, error) {
 	nodes := []topology.Node{{ID: 0, Name: "s1"}, {ID: 1, Name: "s2"}, {ID: 2, Name: "s3"}}
 	fibers := []topology.Fiber{
 		{ID: 0, A: 0, B: 1, LengthKm: 100},
@@ -90,7 +103,7 @@ func NewTestbed(cfg SwitchConfig, predict Predictor) (*Testbed, error) {
 		tb.Agents = append(tb.Agents, a)
 		agents[n.Name] = a.Addr()
 	}
-	ctl, err := NewController(agents)
+	ctl, err := NewControllerTransport(tr, agents)
 	if err != nil {
 		tb.Close()
 		return nil, err
@@ -140,11 +153,16 @@ func (tb *Testbed) RunScenario(seed uint64) (*PipelineTiming, error) {
 }
 
 // reactToDegradation runs inference -> Algorithm 1 -> scenario regeneration
-// -> TE computation -> rate installation, timing each stage.
+// -> TE computation -> rate installation, timing each stage. Control-plane
+// failures that survive the controller's retry loop do not abort the round:
+// the degradation ladder plans on the previous tunnel set when the new
+// tunnels cannot be programmed, and keeps the last good rates when the
+// adaptation push fails (agents are never left rate-less).
 func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, error) {
 	var timing PipelineTiming
 	// Model inference ("only takes several milliseconds", §5).
 	t0 := time.Now()
+	tb.Ctl.Log.Addf("stage inference")
 	feats, err := optical.ExtractFeatures(ev.Window, 0, "testbed", "voa", 100)
 	if err != nil {
 		return nil, err
@@ -154,18 +172,28 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 
 	// Tunnel update: Algorithm 1 + serialized installation on the agents.
 	t0 = time.Now()
+	tb.Ctl.Log.Addf("stage tunnel-update")
 	upd, err := core.UpdateTunnels(tb.Tunnels, 0, 1)
 	if err != nil {
 		return nil, err
 	}
+	planTunnels := upd.Tunnels
 	installs := tb.installsFor(upd)
 	if _, err := tb.Ctl.InstallTunnels(installs); err != nil {
-		return nil, err
+		// Ladder rung 1: the reactive tunnels could not all be programmed
+		// even after retries. Plan on the previous tunnel set instead of
+		// wedging; any tunnels that did land are harmless (no rates are
+		// allocated to them), and the agents keep their installed state.
+		tb.Ctl.Metrics.Counter("wan.fallback.tunnel_rounds").Inc()
+		tb.Ctl.Log.Addf("fallback tunnels")
+		planTunnels = tb.Tunnels
+		timing.Degraded = true
 	}
 	timing.TunnelUpdate = time.Since(t0)
 
 	// Failure-scenario regeneration (Eqn. 1 + enumeration).
 	t0 = time.Now()
+	tb.Ctl.Log.Addf("stage scenario-regen")
 	probs, err := scenario.Calibrated(tb.PI, map[topology.FiberID]float64{0: pNN}, 0.25)
 	if err != nil {
 		return nil, err
@@ -178,9 +206,10 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 
 	// TE computation (Benders on the updated tunnels).
 	t0 = time.Now()
+	tb.Ctl.Log.Addf("stage te-compute")
 	opt := core.DefaultOptimizer()
 	res, err := opt.Solve(&te.Input{
-		Net: tb.Net, Tunnels: upd.Tunnels,
+		Net: tb.Net, Tunnels: planTunnels,
 		Demands:   te.Demands{50, 50},
 		Scenarios: set, Beta: 0.99,
 	})
@@ -189,14 +218,17 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 	}
 	timing.TECompute = time.Since(t0)
 
-	// Rate adaptation push.
+	// Rate adaptation push. Ladder rung 2: if the push cannot complete, the
+	// controller re-asserts the last good table and the round is recorded
+	// as degraded rather than failed.
 	t0 = time.Now()
+	tb.Ctl.Log.Addf("stage rate-install")
 	rates := make(map[string]float64, len(res.Alloc))
 	for tid, amt := range res.Alloc {
 		rates[fmt.Sprintf("t%d", tid)] = amt
 	}
-	if _, err := tb.Ctl.UpdateRates(rates); err != nil {
-		return nil, err
+	if _, fellBack, _ := tb.Ctl.UpdateRatesWithFallback(rates); fellBack {
+		timing.Degraded = true
 	}
 	timing.RateInstall = time.Since(t0)
 	return &timing, nil

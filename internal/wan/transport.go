@@ -1,0 +1,95 @@
+package wan
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is the controller's message pipe to one switch agent: a synchronous
+// request/response round trip plus teardown. The production implementation
+// is the persistent JSON-over-TCP connection dialed by TCPTransport;
+// internal/fault wraps any Conn with a deterministic fault injector.
+//
+// RoundTrip's error contract carries the retry semantics the controller
+// relies on: a non-nil Response alongside a non-nil error is an
+// application-level rejection by the switch (the request was parsed and
+// refused — retrying identical content cannot succeed), while a nil
+// Response is a transport failure (timeout, broken pipe, injected fault)
+// that a retry may well recover from.
+type Conn interface {
+	RoundTrip(req *Request, timeout time.Duration) (*Response, error)
+	Close() error
+}
+
+// Transport dials switch agents by name and address. Implementations must
+// return Conns that remain usable after a transport error (re-dialing
+// internally if the underlying stream died), because the controller's retry
+// loop re-issues requests on the same Conn.
+type Transport interface {
+	Dial(name, addr string) (Conn, error)
+}
+
+// TCPTransport is the production transport: one persistent JSON-over-TCP
+// connection per agent that transparently re-dials after transport errors.
+// A timed-out RPC leaves the byte stream desynchronized (the late response
+// is still in flight) and an agent restart closes it; either way the next
+// round trip starts from a fresh dial.
+type TCPTransport struct{}
+
+// Dial connects to one agent and verifies reachability.
+func (TCPTransport) Dial(name, addr string) (Conn, error) {
+	c := &tcpConn{addr: addr}
+	if err := c.ensure(); err != nil {
+		return nil, fmt.Errorf("wan: dial %s (%s): %w", name, addr, err)
+	}
+	return c, nil
+}
+
+// tcpConn is one re-dialing JSON-over-TCP connection.
+type tcpConn struct {
+	addr string
+
+	mu sync.Mutex
+	c  *conn // nil when the stream is down and must be re-dialed
+}
+
+func (t *tcpConn) ensure() error {
+	if t.c != nil {
+		return nil
+	}
+	raw, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return err
+	}
+	t.c = newConn(raw)
+	return nil
+}
+
+func (t *tcpConn) RoundTrip(req *Request, timeout time.Duration) (*Response, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.ensure(); err != nil {
+		return nil, fmt.Errorf("wan: redial %s: %w", t.addr, err)
+	}
+	resp, err := t.c.roundTrip(req, timeout)
+	if err != nil && resp == nil {
+		// Transport-level failure: the stream may hold a stale or partial
+		// response, so drop the connection and re-dial on the next RPC.
+		t.c.close()
+		t.c = nil
+	}
+	return resp, err
+}
+
+func (t *tcpConn) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.c == nil {
+		return nil
+	}
+	err := t.c.close()
+	t.c = nil
+	return err
+}
