@@ -30,6 +30,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. the anytime solves'
+	// tti-ns/op time-to-first-incumbent), keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // File is the JSON artifact: results sorted by name plus the environment
@@ -74,13 +77,19 @@ func parseBench(r io.Reader) (*File, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				res.NsPerOp = v
 			case "B/op":
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			default:
+				// Custom b.ReportMetric units (tti-ns/op, tti-units, ...).
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
+				}
+				res.Extra[unit] = v
 			}
 		}
 		if res.NsPerOp == 0 {
@@ -127,6 +136,17 @@ func diff(w io.Writer, base, cur *File) float64 {
 			worst = ratio
 		}
 		fmt.Fprintf(w, "%-36s %14.0f %14.0f %7.2fx\n", r.Name, b.NsPerOp, r.NsPerOp, ratio)
+		// Custom units diff as report-only rows: they track the same wall
+		// clock as ns/op (or are pure counts), so the ns/op ratio already
+		// gates CI and these just provide the named series.
+		for _, unit := range sortedKeys(r.Extra) {
+			bv, ok := b.Extra[unit]
+			if !ok || bv == 0 {
+				fmt.Fprintf(w, "%-36s %14s %14.0f %8s\n", r.Name+"["+unit+"]", "-", r.Extra[unit], "new")
+				continue
+			}
+			fmt.Fprintf(w, "%-36s %14.0f %14.0f %7.2fx\n", r.Name+"["+unit+"]", bv, r.Extra[unit], r.Extra[unit]/bv)
+		}
 		delete(baseBy, r.Name)
 	}
 	for name := range baseBy {
@@ -198,6 +218,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "prete-benchdiff: pass -convert <file> or -diff <base.json> <current.json>")
 		os.Exit(2)
 	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func fatal(err error) {

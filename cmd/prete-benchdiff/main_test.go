@@ -13,6 +13,7 @@ cpu: Intel(R) Xeon(R)
 BenchmarkSimplexTE-8         	     120	   9876543 ns/op	  123456 B/op	     789 allocs/op
 BenchmarkParallelEvaluate-8  	       1	1234567890 ns/op
 BenchmarkDetector-8          	  500000	      2345 ns/op
+BenchmarkSolveAnytimeB4-8    	       5	  53992249 ns/op	  53992249 tti-ns/op	       956.0 tti-units
 PASS
 ok  	prete	12.345s
 `
@@ -22,11 +23,11 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(f.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
 	}
 	// Sorted by name, GOMAXPROCS suffix stripped.
-	wantNames := []string{"BenchmarkDetector", "BenchmarkParallelEvaluate", "BenchmarkSimplexTE"}
+	wantNames := []string{"BenchmarkDetector", "BenchmarkParallelEvaluate", "BenchmarkSimplexTE", "BenchmarkSolveAnytimeB4"}
 	for i, r := range f.Benchmarks {
 		if r.Name != wantNames[i] {
 			t.Errorf("benchmark %d = %q, want %q", i, r.Name, wantNames[i])
@@ -39,15 +40,24 @@ func TestParseBench(t *testing.T) {
 	if f.Env["goos"] != "linux" || f.Env["pkg"] != "prete" {
 		t.Errorf("env lines lost: %+v", f.Env)
 	}
+	// Custom b.ReportMetric units land in Extra, keyed by unit string.
+	a := f.Benchmarks[3]
+	if a.Extra["tti-ns/op"] != 53992249 || a.Extra["tti-units"] != 956 {
+		t.Errorf("SolveAnytimeB4 extra metrics parsed wrong: %+v", a.Extra)
+	}
+	if s.Extra != nil {
+		t.Errorf("SimplexTE should have no extra metrics: %+v", s.Extra)
+	}
 }
 
 func TestDiffRatios(t *testing.T) {
 	base := &File{Benchmarks: []Result{
-		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkA", NsPerOp: 100, Extra: map[string]float64{"tti-ns/op": 10}},
 		{Name: "BenchmarkGone", NsPerOp: 50},
 	}}
 	cur := &File{Benchmarks: []Result{
-		{Name: "BenchmarkA", NsPerOp: 150},
+		// The 4x extra-metric regression is report-only; worst tracks ns/op.
+		{Name: "BenchmarkA", NsPerOp: 150, Extra: map[string]float64{"tti-ns/op": 40}},
 		{Name: "BenchmarkNew", NsPerOp: 10},
 	}}
 	var buf bytes.Buffer
@@ -56,7 +66,7 @@ func TestDiffRatios(t *testing.T) {
 		t.Errorf("worst ratio = %v, want 1.5", worst)
 	}
 	out := buf.String()
-	for _, want := range []string{"1.50x", "new", "gone"} {
+	for _, want := range []string{"1.50x", "new", "gone", "BenchmarkA[tti-ns/op]", "4.00x"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("diff output missing %q:\n%s", want, out)
 		}

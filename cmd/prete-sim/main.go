@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"prete/internal/core"
 	"prete/internal/experiments"
 	"prete/internal/obs"
 	"prete/internal/par"
@@ -27,10 +28,23 @@ func main() {
 		list      = flag.Bool("list", false, "list available experiments")
 		all       = flag.Bool("all", false, "run every experiment")
 		par_      = flag.Int("p", 0, "worker parallelism (0 = GOMAXPROCS, 1 = serial; output is identical)")
+		budget    = flag.String("budget", "", "per-solve compute budget in deterministic work units, e.g. -budget 5000 (0/empty = unlimited)")
 		metrics   = flag.Bool("metrics", false, "print a JSON metrics snapshot after the run")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+
+	units, timeout, err := core.ParseBudget(*budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prete-sim: %v\n", err)
+		os.Exit(2)
+	}
+	if timeout > 0 {
+		// Experiments promise seed-reproducible output; a wall-clock budget
+		// would break that, so only the deterministic units form is allowed.
+		fmt.Fprintln(os.Stderr, "prete-sim: -budget UNITS only (wall-clock budgets are nondeterministic; use prete-testbed for those)")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -55,7 +69,7 @@ func main() {
 		defer closeFn()
 		fmt.Fprintf(os.Stderr, "prete-sim: debug server on http://%s/metrics\n", addr)
 	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *par_, Metrics: reg}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *par_, Budget: units, Metrics: reg}
 	switch {
 	case *all:
 		for _, id := range experiments.IDs() {

@@ -8,11 +8,15 @@
 //	prete-testbed -fast -metrics           # JSON metrics snapshot after the run
 //	prete-testbed -debug-addr 127.0.0.1:0  # live /metrics + pprof while running
 //	prete-testbed -fast -faults 'seed=7,drop=0.1,delay=1:50ms'  # chaos run
+//	prete-testbed -fast -budget 60          # anytime TE solve: 60 work units
+//	prete-testbed -budget 5000:150ms        # units + wall-clock safety net
 //
 // The -faults spec injects deterministic controller<->agent RPC faults
 // (drop, delay, duplicate, corrupt, partition, crash); see internal/fault
 // for the full syntax. Identical -seed and -faults values replay the run
-// bit-identically.
+// bit-identically. The -budget spec bounds each TE solve (UNITS[:TIMEOUT],
+// see core.ParseBudget); an expired budget installs the best anytime plan
+// instead of blowing the TE period.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"prete/internal/core"
 	"prete/internal/fault"
 	"prete/internal/obs"
 	"prete/internal/optical"
@@ -36,12 +41,18 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print a JSON metrics snapshot after the run")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
 		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'seed=7,drop=0.1,delay=0.5:10ms-50ms,crash=0.01:25' (empty = no faults)")
+		budget    = flag.String("budget", "", "TE solve budget 'UNITS[:TIMEOUT]', e.g. '5000', '5000:150ms', ':2s' (empty = unlimited); units are deterministic, the timeout is a wall-clock safety net")
 	)
 	flag.Parse()
 
 	faultSpec, err := fault.ParseSpec(*faults)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prete-testbed: -faults: %v\n", err)
+		os.Exit(2)
+	}
+	solveUnits, solveTimeout, err := core.ParseBudget(*budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prete-testbed: -budget: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -86,6 +97,11 @@ func main() {
 		os.Exit(1)
 	}
 	defer tb.Close()
+	tb.SolveUnits = solveUnits
+	tb.SolveTimeout = solveTimeout
+	if *budget != "" {
+		fmt.Printf("TE solve budget: %s\n", *budget)
+	}
 	// RPC counters and latency from the controller's round trips.
 	tb.Ctl.Metrics = reg
 	tb.Ctl.Log = wan.NewEventLog()
@@ -100,7 +116,11 @@ func main() {
 	fmt.Printf("  model inference  %8.2f ms\n", ms(timing.Inference))
 	fmt.Printf("  tunnel update    %8.2f ms\n", ms(timing.TunnelUpdate))
 	fmt.Printf("  scenario regen   %8.2f ms\n", ms(timing.ScenarioRegen))
-	fmt.Printf("  TE compute       %8.2f ms\n", ms(timing.TECompute))
+	fmt.Printf("  TE compute       %8.2f ms", ms(timing.TECompute))
+	if timing.SolveTruncated {
+		fmt.Print("  (budget expired: anytime plan installed)")
+	}
+	fmt.Println()
 	fmt.Printf("  rate install     %8.2f ms\n", ms(timing.RateInstall))
 	fmt.Printf("  total            %8.2f ms\n", ms(timing.Total()))
 	if inj != nil {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"prete/internal/lp"
 	"prete/internal/obs"
@@ -134,8 +136,23 @@ type Optimizer struct {
 	// work is partitioned by index and merged in a fixed order (see
 	// internal/par).
 	Parallelism int
+	// BudgetUnits caps the deterministic work one Solve may consume —
+	// simplex pivots + branch-and-bound nodes + Benders iterations, each
+	// costing one unit; 0 is unlimited. When the budget expires the solve
+	// returns its best feasible incumbent with Result.Truncated set (or the
+	// HeuristicPlan fallback when no incumbent exists yet) instead of
+	// erroring, and equal budgets reproduce bit-identical results at every
+	// Parallelism setting (see lp.Budget).
+	BudgetUnits int64
+	// SolveTimeout is the optional wall-clock ceiling per Solve — the
+	// safety net a production controller derives from its TE period; 0 is
+	// none. Crossing it truncates exactly like BudgetUnits running out, but
+	// is inherently nondeterministic, so deterministic experiments use
+	// units only.
+	SolveTimeout time.Duration
 	// Metrics, when non-nil, receives Benders iteration counts, cuts
-	// added, master/subproblem solve times, and LP pivot/node counts.
+	// added, master/subproblem solve times, LP pivot/node counts, and the
+	// core.budget.* / core.anytime.* truncation series.
 	// Metrics are write-only: results are bit-identical with Metrics nil
 	// or set (internal/core's obs tests assert this).
 	Metrics *obs.Registry
@@ -155,6 +172,12 @@ type optObs struct {
 	pivots         *obs.Counter
 	bbNodes        *obs.Counter
 	pivotsPerSolve *obs.Histogram
+
+	budgetSpent     *obs.Counter   // work units consumed across solves
+	budgetExhausted *obs.Counter   // solves whose budget ran out
+	truncated       *obs.Counter   // solves returning a truncated incumbent
+	fallback        *obs.Counter   // solves degrading to HeuristicPlan
+	firstIncumbent  *obs.Histogram // work units to the first feasible incumbent
 }
 
 func (o *Optimizer) metrics() optObs {
@@ -170,6 +193,12 @@ func (o *Optimizer) metrics() optObs {
 		pivots:         r.Counter("core.lp.pivots"),
 		bbNodes:        r.Counter("core.lp.bb_nodes"),
 		pivotsPerSolve: r.Histogram("core.lp.pivots_per_solve", obs.CountBuckets()),
+
+		budgetSpent:     r.Counter("core.budget.spent"),
+		budgetExhausted: r.Counter("core.budget.exhausted"),
+		truncated:       r.Counter("core.anytime.truncated"),
+		fallback:        r.Counter("core.anytime.fallback"),
+		firstIncumbent:  r.Histogram("core.anytime.first_incumbent_units", obs.CountBuckets()),
 	}
 }
 
@@ -193,17 +222,58 @@ type Result struct {
 	LB, UB     float64
 	// Selected reports the final delta: class index -> selected.
 	Selected []bool
+	// Truncated reports the compute budget expired before Benders
+	// converged: Alloc is the best feasible incumbent found in time (or the
+	// heuristic fallback when Fallback is also set), not a certified
+	// optimum.
+	Truncated bool
+	// Fallback reports no feasible incumbent existed when the budget
+	// expired, so Alloc is the proportional HeuristicPlan — rung three of
+	// the degradation ladder.
+	Fallback bool
+	// WorkUnits is the deterministic work (pivots + B&B nodes + Benders
+	// iterations) the solve consumed.
+	WorkUnits int64
+	// FirstIncumbentUnits is the work consumed when the first feasible
+	// incumbent appeared (0 when none did) — the anytime latency figure the
+	// deadline experiment and BenchmarkSolveAnytime* report.
+	FirstIncumbentUnits int64
 }
 
-// Solve runs Algorithm 2 on the input. The scenario set's probabilities
+// newBudget materializes the optimizer's per-solve budget configuration;
+// nil when the optimizer is unlimited.
+func (o *Optimizer) newBudget() *lp.Budget {
+	if o.BudgetUnits <= 0 && o.SolveTimeout <= 0 {
+		return nil
+	}
+	return lp.NewBudget(o.BudgetUnits).WithTimeout(o.SolveTimeout)
+}
+
+// Solve runs Algorithm 2 on the input under the optimizer's configured
+// budget (BudgetUnits / SolveTimeout). The scenario set's probabilities
 // must already be calibrated (Eqn. 1) by the caller.
 func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
+	return o.SolveBudget(in, o.newBudget())
+}
+
+// SolveBudget runs Algorithm 2 under an explicit compute budget, making the
+// solve anytime: when the budget expires mid-search it returns the best
+// feasible incumbent found so far with Result.Truncated set, and when no
+// incumbent exists yet it returns the HeuristicPlan fallback (Result.Fallback)
+// — the caller always gets an installable plan. A nil budget is unlimited
+// and reproduces Solve's historical behaviour exactly.
+func (o *Optimizer) SolveBudget(in *te.Input, budget *lp.Budget) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	if in.Scenarios == nil || len(in.Scenarios.Scenarios) == 0 {
 		return nil, fmt.Errorf("core: no failure scenarios")
 	}
+	if budget == nil {
+		// Unlimited, but still account work units uniformly.
+		budget = lp.NewBudget(0)
+	}
+	spentAt := budget.Spent()
 	m := o.metrics()
 	classes := BuildClassesP(in.Tunnels, in.Scenarios, o.Parallelism)
 	m.classes.Set(float64(len(classes)))
@@ -250,7 +320,7 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 		delta[i] = true
 	}
 	if len(cuts) > 0 {
-		d, _, err := o.solveMaster(in, classes, cuts, m)
+		d, _, err := o.solveMaster(in, classes, cuts, m, budget)
 		if err == nil {
 			delta = d
 		}
@@ -259,15 +329,30 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 	var bestAlloc te.Allocation
 	var bestPhi float64
 	var bestDelta []bool
+	var firstIncumbentUnits int64
+	truncated := false
 	iters := 0
 	for ; iters < o.MaxIters; iters++ {
+		// One Benders iteration = one work unit, charged before the
+		// subproblem so exhaustion stops the solve at an iteration boundary.
+		if !budget.Spend(1) {
+			truncated = true
+			break
+		}
 		m.iterations.Inc()
 		// Step 1: solve the subproblem with delta fixed.
-		sp, err := o.solveSubproblem(in, classes, delta, m)
+		sp, err := o.solveSubproblem(in, classes, delta, m, budget)
 		if err != nil {
+			if errors.Is(err, errBudgetExhausted) {
+				truncated = true
+				break
+			}
 			return nil, fmt.Errorf("core: subproblem iter %d: %w", iters, err)
 		}
 		if sp.phi <= ub {
+			if bestAlloc == nil {
+				firstIncumbentUnits = budget.Spent() - spentAt
+			}
 			ub = sp.phi
 			bestAlloc = sp.alloc
 			bestPhi = sp.phi
@@ -280,8 +365,12 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 			break
 		}
 		// Step 2: solve the master with the accumulated optimality cuts.
-		newDelta, masterPhi, err := o.solveMaster(in, classes, cuts, m)
+		newDelta, masterPhi, err := o.solveMaster(in, classes, cuts, m, budget)
 		if err != nil {
+			if errors.Is(err, errBudgetExhausted) {
+				truncated = true
+				break
+			}
 			return nil, fmt.Errorf("core: master iter %d: %w", iters, err)
 		}
 		if masterPhi > lb {
@@ -294,27 +383,57 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 		}
 		delta = newDelta
 	}
+	fallback := false
 	if bestAlloc == nil {
-		return nil, fmt.Errorf("core: no feasible subproblem solution")
+		if !truncated {
+			return nil, fmt.Errorf("core: no feasible subproblem solution")
+		}
+		// Rung three of the degradation ladder: the budget expired before any
+		// feasible incumbent existed, so hand back the proportional heuristic
+		// — always capacity-feasible, always installable.
+		fallback = true
+		bestAlloc, bestPhi = heuristicPlan(in, classes)
+		ub = bestPhi
 	}
 	// Polish: with delta fixed at the incumbent, re-solve for the most
 	// satisfying allocation at (essentially) the optimal Phi — a bare
 	// min-Phi LP is content to stop at (1-Phi)d per flow, which would make
-	// downstream availability accounting degenerate.
-	if !o.DisablePolish {
-		if polished, err := o.polish(in, classes, bestDelta, bestPhi, m); err == nil {
+	// downstream availability accounting degenerate. Runs under the same
+	// budget; when it truncates, the unpolished incumbent stands.
+	if !o.DisablePolish && !fallback {
+		if polished, err := o.polish(in, classes, bestDelta, bestPhi, m, budget); err == nil {
 			bestAlloc = polished
+		} else if errors.Is(err, errBudgetExhausted) {
+			// Converged, but the budget died inside the polish LP: the
+			// unpolished incumbent stands, and the caller learns the solve
+			// was cut short.
+			truncated = true
 		}
+	}
+	workUnits := budget.Spent() - spentAt
+	m.budgetSpent.Add(workUnits)
+	if truncated {
+		m.budgetExhausted.Inc()
+		if fallback {
+			m.fallback.Inc()
+		} else {
+			m.truncated.Inc()
+		}
+	}
+	if firstIncumbentUnits > 0 {
+		m.firstIncumbent.Observe(float64(firstIncumbentUnits))
 	}
 	return &Result{
 		Alloc: bestAlloc, Phi: bestPhi,
 		Iterations: iters, LB: lb, UB: ub, Selected: bestDelta,
+		Truncated: truncated, Fallback: fallback,
+		WorkUnits: workUnits, FirstIncumbentUnits: firstIncumbentUnits,
 	}, nil
 }
 
 // polish maximizes total satisfied demand fraction subject to the
 // converged delta and loss bound.
-func (o *Optimizer) polish(in *te.Input, classes []Class, delta []bool, phiCap float64, m optObs) (te.Allocation, error) {
+func (o *Optimizer) polish(in *te.Input, classes []Class, delta []bool, phiCap float64, m optObs, budget *lp.Budget) (te.Allocation, error) {
 	prob := lp.NewProblem()
 	phi := prob.AddVar(0, "phi")
 	tunnelVar := make(map[routing.TunnelID]int, len(in.Tunnels.Tunnels))
@@ -382,9 +501,12 @@ func (o *Optimizer) polish(in *te.Input, classes []Class, delta []bool, phiCap f
 		}
 	}
 	start := m.polishSolve.Start()
-	sol := prob.Solve()
+	sol := prob.SolveBudget(budget)
 	m.polishSolve.Stop(start)
 	m.observeLP(sol)
+	if sol.Status == lp.Truncated {
+		return nil, errBudgetExhausted
+	}
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("polish LP %v", sol.Status)
 	}
@@ -414,7 +536,7 @@ type spSolution struct {
 // DESIGN.md) for a fixed delta and derives the Appendix A.4 optimality cut
 // from its duals: w_{f,c} = d_f * y_{f,c} reconstructs a dual-feasible point
 // of the full SP of Appendix A.5.
-func (o *Optimizer) solveSubproblem(in *te.Input, classes []Class, delta []bool, m optObs) (*spSolution, error) {
+func (o *Optimizer) solveSubproblem(in *te.Input, classes []Class, delta []bool, m optObs, budget *lp.Budget) (*spSolution, error) {
 	prob := lp.NewProblem()
 	phi := prob.AddVar(1, "phi")
 	tunnelVar := make(map[routing.TunnelID]int, len(in.Tunnels.Tunnels))
@@ -485,9 +607,12 @@ func (o *Optimizer) solveSubproblem(in *te.Input, classes []Class, delta []bool,
 		return nil, err
 	}
 	start := m.subSolve.Start()
-	sol := prob.Solve()
+	sol := prob.SolveBudget(budget)
 	m.subSolve.Stop(start)
 	m.observeLP(sol)
+	if sol.Status == lp.Truncated {
+		return nil, errBudgetExhausted
+	}
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("subproblem LP %v", sol.Status)
 	}
@@ -528,7 +653,7 @@ const exactMasterLimit = 48
 // solveMaster solves the MP: min Phi s.t. all optimality cuts, the
 // availability constraint (5) per flow, delta binary. It returns the next
 // delta and a valid lower bound on the optimal Phi.
-func (o *Optimizer) solveMaster(in *te.Input, classes []Class, cuts []bendersCut, mo optObs) ([]bool, float64, error) {
+func (o *Optimizer) solveMaster(in *te.Input, classes []Class, cuts []bendersCut, mo optObs, budget *lp.Budget) ([]bool, float64, error) {
 	exact := len(classes) <= exactMasterLimit
 	m := lp.NewMIP()
 	phi := m.AddVar(1, "phi")
@@ -579,9 +704,14 @@ func (o *Optimizer) solveMaster(in *te.Input, classes []Class, cuts []bendersCut
 	}
 	if exact {
 		start := mo.masterSolve.Start()
-		sol := m.SolveMIP(lp.MIPOptions{MaxNodes: o.MasterNodes})
+		sol := m.SolveMIP(lp.MIPOptions{MaxNodes: o.MasterNodes, Budget: budget})
 		mo.masterSolve.Stop(start)
 		mo.observeLP(sol)
+		if sol.Status == lp.Truncated {
+			// A truncated master may be fractional (root relaxation) and its
+			// rounding could violate the beta constraint — never use it.
+			return nil, 0, errBudgetExhausted
+		}
 		if sol.Status != lp.Optimal && sol.Status != lp.IterationLimit {
 			return nil, 0, fmt.Errorf("master MIP %v", sol.Status)
 		}
@@ -593,9 +723,12 @@ func (o *Optimizer) solveMaster(in *te.Input, classes []Class, cuts []bendersCut
 	}
 	// Relaxation lower bound + greedy rounding.
 	start := mo.masterSolve.Start()
-	sol := m.Problem.Solve()
+	sol := m.Problem.SolveBudget(budget)
 	mo.masterSolve.Stop(start)
 	mo.observeLP(sol)
+	if sol.Status == lp.Truncated {
+		return nil, 0, errBudgetExhausted
+	}
 	if sol.Status != lp.Optimal {
 		return nil, 0, fmt.Errorf("master relaxation %v", sol.Status)
 	}
@@ -717,7 +850,22 @@ func SolveExact(in *te.Input, nodeLimit int) (*Result, error) {
 		return nil, err
 	}
 	sol := m.SolveMIP(lp.MIPOptions{MaxNodes: nodeLimit})
-	if sol.Status != lp.Optimal {
+	truncated := false
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.StatusIterLimit, lp.Truncated:
+		// Node or work limit hit. The incumbent (if any) is feasible but
+		// uncertified; a fractional relaxation point is unusable — in that
+		// case surface a typed Truncation instead of a generic error so
+		// callers can raise the limit or fall back deliberately.
+		for _, v := range dVars {
+			x := sol.X[v]
+			if x > 1e-6 && x < 1-1e-6 {
+				return nil, &Truncation{Stage: "exact", Limit: "nodes"}
+			}
+		}
+		truncated = true
+	default:
 		return nil, fmt.Errorf("core: exact MIP %v", sol.Status)
 	}
 	alloc := make(te.Allocation)
@@ -726,7 +874,7 @@ func SolveExact(in *te.Input, nodeLimit int) (*Result, error) {
 			alloc[tid] = x
 		}
 	}
-	res := &Result{Alloc: alloc, Phi: sol.X[phi], Selected: make([]bool, len(classes))}
+	res := &Result{Alloc: alloc, Phi: sol.X[phi], Selected: make([]bool, len(classes)), Truncated: truncated}
 	for i, v := range dVars {
 		res.Selected[i] = sol.X[v] > 0.5
 	}

@@ -33,6 +33,7 @@ func evalConfig(opts Options) sim.Config {
 	cfg.ScenarioOpts.MaxScenarios = 250
 	cfg.MaxDegScenarios = 6
 	cfg.Parallelism = opts.Parallelism
+	cfg.SolveBudget = opts.Budget
 	cfg.Metrics = opts.Metrics
 	if opts.Quick {
 		cfg.ScenarioOpts.MaxScenarios = 120

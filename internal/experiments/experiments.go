@@ -27,6 +27,12 @@ type Options struct {
 	// cells are computed into an index-addressed grid and printed in row
 	// order (see internal/par).
 	Parallelism int
+	// Budget caps the deterministic work units of every TE solve an
+	// experiment runs (core.Optimizer.BudgetUnits); 0 is unlimited — the
+	// default, so golden outputs are unchanged. Budgeted solves may install
+	// truncated or heuristic-fallback plans, which is the point of the
+	// `deadline` sweep.
+	Budget int64
 	// Metrics, when non-nil, collects the observability series of every
 	// layer an experiment exercises (core.benders.*, sim.*, telemetry.*).
 	// Write-only: experiment output is byte-identical with Metrics set or

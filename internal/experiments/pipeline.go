@@ -84,6 +84,7 @@ func fig8(w io.Writer, opts Options) error {
 	// enumeration would cut off.
 	p := core.New()
 	p.Opt.Parallelism = opts.Parallelism
+	p.Opt.BudgetUnits = opts.Budget
 	p.Opt.Metrics = opts.Metrics
 	ep, err := p.PlanEpoch(core.EpochInput{
 		Net: env.Net, Tunnels: env.Tunnels, Demands: env.BaseDemands,

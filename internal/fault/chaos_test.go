@@ -15,14 +15,21 @@ import (
 // control-plane event log, and the injector's decision history. Wall-clock
 // timings are excluded — they are the only run-to-run variation allowed.
 type chaosRun struct {
-	Rates    []map[string]float64
-	Tunnels  []int
-	Events   []string
-	Faults   []string
-	Degraded bool
+	Rates          []map[string]float64
+	Tunnels        []int
+	Events         []string
+	Faults         []string
+	Degraded       bool
+	SolveTruncated bool
 }
 
 func runChaosScenario(t *testing.T, spec Spec, workloadSeed uint64) chaosRun {
+	return runChaosScenarioBudget(t, spec, workloadSeed, 0)
+}
+
+// runChaosScenarioBudget is runChaosScenario with a deterministic work-unit
+// cap on the round's TE solve (0 = unlimited).
+func runChaosScenarioBudget(t *testing.T, spec Spec, workloadSeed uint64, solveUnits int64) chaosRun {
 	t.Helper()
 	reg := obs.NewRegistry()
 	inj, err := NewInjector(spec, reg)
@@ -35,6 +42,7 @@ func runChaosScenario(t *testing.T, spec Spec, workloadSeed uint64) chaosRun {
 		t.Fatal(err)
 	}
 	t.Cleanup(tb.Close)
+	tb.SolveUnits = solveUnits
 	tb.Ctl.Metrics = reg
 	tb.Ctl.Log = wan.NewEventLog()
 	tb.Ctl.Retry = wan.RetryPolicy{MaxAttempts: 6, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Jitter: 0.5}
@@ -42,7 +50,10 @@ func runChaosScenario(t *testing.T, spec Spec, workloadSeed uint64) chaosRun {
 	if err != nil {
 		t.Fatalf("chaos scenario wedged: %v", err)
 	}
-	run := chaosRun{Events: tb.Ctl.Log.Events(), Faults: inj.History(), Degraded: timing.Degraded}
+	run := chaosRun{
+		Events: tb.Ctl.Log.Events(), Faults: inj.History(),
+		Degraded: timing.Degraded, SolveTruncated: timing.SolveTruncated,
+	}
 	for _, a := range tb.Agents {
 		run.Rates = append(run.Rates, a.Rates())
 		run.Tunnels = append(run.Tunnels, a.NumTunnels())
@@ -120,6 +131,57 @@ func TestChaosConvergesUnderDropAndDelay(t *testing.T) {
 	}
 	if installed == 0 {
 		t.Fatal("no tunnels installed anywhere despite retries")
+	}
+}
+
+// TestChaosTightSolveBudget combines control-plane faults with a starved TE
+// solve budget: even when RPCs drop AND the optimizer cannot finish (or even
+// find an incumbent), the round must converge to a valid installed plan —
+// truncated incumbent or heuristic fallback, never rate-less agents — and
+// equal (fault seed, workload seed, budget) triples must replay
+// bit-identically.
+func TestChaosTightSolveBudget(t *testing.T) {
+	spec := Spec{
+		Seed: 1234, Drop: 0.15, DelayProb: 0.3,
+		DelayMin: 500 * time.Microsecond, DelayMax: 2 * time.Millisecond,
+	}
+	// The unfaulted testbed solve takes ~70 units with its first incumbent
+	// near 55: 2 units forces the heuristic rung, 60 a truncated incumbent.
+	for _, units := range []int64{2, 60} {
+		a := runChaosScenarioBudget(t, spec, 7, units)
+		if !a.SolveTruncated {
+			t.Fatalf("units=%d: solve was not truncated; budget too generous for the test", units)
+		}
+		rated := 0
+		for i, rates := range a.Rates {
+			for k, v := range rates {
+				if v < 0 {
+					t.Errorf("units=%d: agent %d has negative rate %s=%v", units, i, k, v)
+				}
+			}
+			if len(rates) > 0 {
+				rated++
+			}
+		}
+		if rated == 0 {
+			t.Fatalf("units=%d: no agent holds any rates: the fleet was left rate-less", units)
+		}
+		found := false
+		for _, e := range a.Events {
+			if e == "te-solve truncated" || e == "te-solve fallback" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("units=%d: no te-solve truncation/fallback event logged: %v", units, a.Events)
+		}
+		b := runChaosScenarioBudget(t, spec, 7, units)
+		if !reflect.DeepEqual(a.Rates, b.Rates) {
+			t.Errorf("units=%d: installed plans differ across identical budgeted runs:\n%v\n%v", units, a.Rates, b.Rates)
+		}
+		if !reflect.DeepEqual(a.Events, b.Events) {
+			t.Errorf("units=%d: event order differs across identical budgeted runs:\n%v\n%v", units, a.Events, b.Events)
+		}
 	}
 }
 

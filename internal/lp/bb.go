@@ -34,10 +34,15 @@ func (m *MIP) AddBinaryVar(objCoeff float64, name string) int {
 type MIPOptions struct {
 	// MaxNodes caps the search tree; 0 means a generous default. When the
 	// cap is hit the best incumbent found so far is returned with
-	// Status == IterationLimit.
+	// Status == StatusIterLimit.
 	MaxNodes int
 	// Gap is the relative optimality gap at which search stops early.
 	Gap float64
+	// Budget, when non-nil, is spent cooperatively: one unit per
+	// branch-and-bound node plus one per pivot of every node LP. On
+	// exhaustion the best incumbent so far is returned with
+	// Status == Truncated (or the root relaxation when none exists).
+	Budget *Budget
 }
 
 // SolveMIP runs best-first branch-and-bound with LP relaxations.
@@ -50,7 +55,7 @@ func (m *MIP) SolveMIP(opts MIPOptions) *Solution {
 		bound float64
 	}
 	root := node{fixed: map[int]float64{}}
-	relax := m.solveWithFixings(root.fixed)
+	relax := m.solveWithFixings(root.fixed, opts.Budget)
 	pivots := relax.Pivots
 	if relax.Status != Optimal {
 		return relax
@@ -60,7 +65,17 @@ func (m *MIP) SolveMIP(opts MIPOptions) *Solution {
 	var incumbent *Solution
 	stack := []node{root}
 	nodes := 0
+	truncated := false
+	// lpLimited records a node LP that hit its hard pivot cap. Such a node
+	// cannot simply be pruned — its subtree may hold the true optimum — so
+	// the search result is downgraded to StatusIterLimit instead of being
+	// silently reported as optimal.
+	lpLimited := false
 	for len(stack) > 0 && nodes < opts.MaxNodes {
+		if !opts.Budget.Spend(1) {
+			truncated = true
+			break
+		}
 		nodes++
 		// Best-first: pop the node with the smallest bound.
 		bi := 0
@@ -74,8 +89,16 @@ func (m *MIP) SolveMIP(opts MIPOptions) *Solution {
 		if incumbent != nil && nd.bound >= incumbent.Objective-math.Abs(incumbent.Objective)*opts.Gap-1e-12 {
 			continue
 		}
-		sol := m.solveWithFixings(nd.fixed)
+		sol := m.solveWithFixings(nd.fixed, opts.Budget)
 		pivots += sol.Pivots
+		if sol.Status == Truncated {
+			truncated = true
+			break
+		}
+		if sol.Status == IterationLimit {
+			lpLimited = true
+			continue
+		}
 		if sol.Status != Optimal {
 			continue
 		}
@@ -99,18 +122,29 @@ func (m *MIP) SolveMIP(opts MIPOptions) *Solution {
 		}
 	}
 	if incumbent == nil {
-		if nodes >= opts.MaxNodes {
-			// Search exhausted before any integral solution: report the
+		if truncated || nodes >= opts.MaxNodes {
+			// Search cut short before any integral solution: report the
 			// (possibly fractional) root relaxation rather than claiming
 			// infeasibility.
-			relax.Status = IterationLimit
+			relax.Status = StatusIterLimit
+			if truncated {
+				relax.Status = Truncated
+			}
 			relax.Pivots, relax.Nodes = pivots, nodes
 			return relax
 		}
 		return &Solution{Status: Infeasible, Pivots: pivots, Nodes: nodes}
 	}
-	if len(stack) > 0 && nodes >= opts.MaxNodes {
-		incumbent.Status = IterationLimit
+	switch {
+	case truncated:
+		incumbent.Status = Truncated
+	case len(stack) > 0 && nodes >= opts.MaxNodes:
+		incumbent.Status = StatusIterLimit
+	case lpLimited:
+		// Every open node was closed, but at least one pruning decision
+		// rested on an uncertified (pivot-capped) LP: the incumbent is
+		// feasible yet not provably optimal.
+		incumbent.Status = StatusIterLimit
 	}
 	incumbent.Pivots, incumbent.Nodes = pivots, nodes
 	return incumbent
@@ -118,7 +152,7 @@ func (m *MIP) SolveMIP(opts MIPOptions) *Solution {
 
 // solveWithFixings solves the LP relaxation with some binaries fixed via
 // temporary equality rows.
-func (m *MIP) solveWithFixings(fixed map[int]float64) *Solution {
+func (m *MIP) solveWithFixings(fixed map[int]float64, budget *Budget) *Solution {
 	sub := &Problem{
 		numVars:     m.numVars,
 		objective:   m.objective,
@@ -135,7 +169,7 @@ func (m *MIP) solveWithFixings(fixed map[int]float64) *Solution {
 			return &Solution{Status: Infeasible}
 		}
 	}
-	return sub.Solve()
+	return sub.SolveBudget(budget)
 }
 
 // mostFractional returns the binary variable farthest from integrality in

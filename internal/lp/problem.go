@@ -124,8 +124,24 @@ const (
 	Optimal Status = iota
 	Infeasible
 	Unbounded
+	// IterationLimit reports the solver's hard pivot/node cap fired before
+	// optimality was proven. The solution may still carry a usable incumbent
+	// (branch-and-bound) or the last vertex reached (simplex); callers must
+	// not treat it as certified optimal.
 	IterationLimit
+	// Truncated reports a cooperative Budget expired mid-solve (work units
+	// or wall-clock deadline — see Budget). Like IterationLimit the solution
+	// carries the best point found so far, but truncation is an expected
+	// anytime outcome, not a pathology: the caller asked for at most this
+	// much work.
+	Truncated
 )
+
+// StatusIterLimit is the explicit name for the hard iteration-cap outcome:
+// a solve that burns through its pivot or node cap surfaces it here in
+// Solution.Status rather than silently returning its last iterate as if it
+// were optimal.
+const StatusIterLimit = IterationLimit
 
 func (s Status) String() string {
 	switch s {
@@ -135,8 +151,12 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
-	default:
+	case IterationLimit:
 		return "iteration-limit"
+	case Truncated:
+		return "truncated"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
 	}
 }
 

@@ -15,8 +15,15 @@ const (
 // optimal solution with primal values and duals. Duals[i] is the shadow
 // price dObjective/dRHS of constraint i (so <=0 for binding LE rows and
 // >=0 for binding GE rows of a minimization).
-func (p *Problem) Solve() *Solution {
+func (p *Problem) Solve() *Solution { return p.SolveBudget(nil) }
+
+// SolveBudget is Solve under a cooperative compute budget: the pivot loop
+// spends one work unit per pivot and returns Status == Truncated (with the
+// pivots performed so far recorded) the moment the budget expires. A nil
+// budget is unlimited, making SolveBudget(nil) identical to Solve.
+func (p *Problem) SolveBudget(budget *Budget) *Solution {
 	t := newTableau(p)
+	t.budget = budget
 	// Phase 1: minimize the sum of artificials.
 	if t.numArt > 0 {
 		t.priceOut(t.phase1Costs())
@@ -57,7 +64,8 @@ type tableau struct {
 	rowSign    []float64 // +1, or -1 when the row was flipped to make RHS >= 0
 	degenerate int       // consecutive degenerate pivot counter
 	iterLimit  int
-	pivots     int // total pivots across both phases (Solution.Pivots)
+	pivots     int     // total pivots across both phases (Solution.Pivots)
+	budget     *Budget // cooperative cancellation; nil = unlimited
 }
 
 func newTableau(p *Problem) *tableau {
@@ -196,6 +204,12 @@ func (t *tableau) iterate(phase1 bool) Status {
 		row := t.chooseRow(col)
 		if row < 0 {
 			return Unbounded
+		}
+		// One pivot = one deterministic work unit; stop before performing a
+		// pivot the budget cannot pay for, so equal budgets truncate at the
+		// same tableau.
+		if !t.budget.Spend(1) {
+			return Truncated
 		}
 		t.pivot(row, col)
 	}

@@ -119,6 +119,7 @@ func (ev *Evaluator) staticPlan(schemeName string, demands te.Demands) (*te.Plan
 	case "TeaVar":
 		tv := core.NewTeaVar()
 		tv.Opt.Parallelism = ev.Cfg.Parallelism
+		tv.Opt.BudgetUnits = ev.Cfg.SolveBudget
 		tv.Opt.Metrics = ev.Cfg.Metrics
 		ep, err := tv.PlanEpoch(core.EpochInput{
 			Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
@@ -421,6 +422,7 @@ func (ev *Evaluator) evaluatePreTE(planned, truth te.Demands, ratio float64) (Av
 	p.ScenarioOpts = ev.Cfg.ScenarioOpts
 	p.Alpha = ev.Cfg.Alpha
 	p.Opt.Metrics = ev.Cfg.Metrics
+	p.Opt.BudgetUnits = ev.Cfg.SolveBudget
 	// The fan-out across degradation scenarios owns the worker budget; the
 	// optimizer inside each epoch plan runs serially so the two levels
 	// don't multiply goroutines. (Either choice yields identical results.)

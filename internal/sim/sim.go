@@ -56,6 +56,12 @@ type Config struct {
 	// are bit-identical at every setting — per-scenario partial vectors are
 	// merged in scenario order (see internal/par).
 	Parallelism int
+	// SolveBudget caps the deterministic work units each TE solve may
+	// consume (see core.Optimizer.BudgetUnits); 0 is unlimited. Budgeted
+	// solves stay bit-identical at every Parallelism setting, but may
+	// return truncated or heuristic-fallback plans — exactly what a
+	// deadline-bounded production controller would install.
+	SolveBudget int64
 	// Metrics, when non-nil, receives evaluation counters (degradation and
 	// failure scenarios evaluated, plan-cache hits/misses), per-scenario eval
 	// timings, and — propagated to the optimizers the evaluator constructs —

@@ -28,6 +28,25 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 200 * time.Millisecond, Jitter: 0.5}
 }
 
+// solvePeriodFraction is the share of one TE period the controller hands
+// the optimizer as its wall-clock ceiling. The remainder covers tunnel
+// installation (the Fig 11a-dominant stage), the rate push with its retry
+// budget, and slack for the next detection.
+const solvePeriodFraction = 0.5
+
+// SolveDeadline derives the TE solve's wall-clock ceiling from the TE
+// period: the period is a hard deadline for the whole reaction round, so
+// the anytime solve gets solvePeriodFraction of it and the rest is reserved
+// for installing whatever plan the solve returns. A nonpositive period
+// means no deadline (0) — deterministic runs bound the solve with work
+// units instead (core.Optimizer.BudgetUnits).
+func SolveDeadline(period time.Duration) time.Duration {
+	if period <= 0 {
+		return 0
+	}
+	return time.Duration(solvePeriodFraction * float64(period))
+}
+
 // backoff returns the wait before retry number retry (1-based).
 func (p RetryPolicy) backoff(retry int, rng *stats.RNG) time.Duration {
 	d := p.BaseBackoff

@@ -31,8 +31,12 @@ type PipelineTiming struct {
 	// Degraded reports that the round completed through the graceful
 	// degradation ladder rather than cleanly: a control-plane stage failed
 	// even after per-RPC retries, and the pipeline fell back (previous
-	// tunnel set, or last-good rates) instead of wedging.
+	// tunnel set, heuristic TE plan, or last-good rates) instead of wedging.
 	Degraded bool
+	// SolveTruncated reports the TE solve's compute budget expired and the
+	// installed plan is a truncated incumbent or heuristic fallback rather
+	// than a certified optimum — feasible either way.
+	SolveTruncated bool
 }
 
 // Total returns the end-to-end reaction latency.
@@ -52,6 +56,28 @@ type Testbed struct {
 	// PI are the static failure probabilities of the three fibers (the
 	// §2.2 values by default).
 	PI []float64
+	// TEPeriod, when positive, makes the TE period a hard deadline: the
+	// solve stage receives SolveDeadline(TEPeriod) as its wall-clock
+	// ceiling, so the round always has a plan to install before the next
+	// period starts. 0 leaves the solve wall-clock-unbounded.
+	TEPeriod time.Duration
+	// SolveUnits caps the deterministic work of each TE solve
+	// (core.Optimizer.BudgetUnits); 0 is unlimited. Unlike TEPeriod, unit
+	// budgets keep seeded chaos runs bit-identical.
+	SolveUnits int64
+	// SolveTimeout, when positive, is an explicit wall-clock ceiling for the
+	// TE solve (the -budget UNITS:TIMEOUT CLI form). It overrides the
+	// TEPeriod derivation.
+	SolveTimeout time.Duration
+}
+
+// solveDeadline resolves the round's wall-clock solve ceiling: an explicit
+// SolveTimeout wins, otherwise it derives from the TE period.
+func (tb *Testbed) solveDeadline() time.Duration {
+	if tb.SolveTimeout > 0 {
+		return tb.SolveTimeout
+	}
+	return SolveDeadline(tb.TEPeriod)
 }
 
 // NewTestbed builds the triangle testbed with the given switch latencies
@@ -204,10 +230,15 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 	}
 	timing.ScenarioRegen = time.Since(t0)
 
-	// TE computation (Benders on the updated tunnels).
+	// TE computation (Benders on the updated tunnels), bounded by the
+	// round's compute budget: the TE period is a hard deadline, so a solve
+	// that cannot finish degrades to a truncated incumbent or the heuristic
+	// plan — rung three of the ladder — rather than blowing the period.
 	t0 = time.Now()
 	tb.Ctl.Log.Addf("stage te-compute")
 	opt := core.DefaultOptimizer()
+	opt.BudgetUnits = tb.SolveUnits
+	opt.SolveTimeout = tb.solveDeadline()
 	res, err := opt.Solve(&te.Input{
 		Net: tb.Net, Tunnels: planTunnels,
 		Demands:   te.Demands{50, 50},
@@ -215,6 +246,18 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 	})
 	if err != nil {
 		return nil, err
+	}
+	if res.Truncated {
+		timing.SolveTruncated = true
+		tb.Ctl.Metrics.Counter("wan.solve.truncated_rounds").Inc()
+		tb.Ctl.Log.Addf("te-solve truncated")
+	}
+	if res.Fallback {
+		// The heuristic plan is valid but unoptimized: record the round as
+		// degraded, like the other ladder rungs.
+		timing.Degraded = true
+		tb.Ctl.Metrics.Counter("wan.solve.fallback_rounds").Inc()
+		tb.Ctl.Log.Addf("te-solve fallback")
 	}
 	timing.TECompute = time.Since(t0)
 
