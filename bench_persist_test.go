@@ -1,0 +1,110 @@
+package prete
+
+// Persistence benchmarks: the journal fsync that sits on every TE epoch's
+// critical path (BenchmarkJournalAppend — one ns/op IS the per-epoch
+// durability tax) and warm-restart recovery over a realistic directory of
+// snapshots plus a journal suffix (BenchmarkRecover — the time a restarted
+// controller spends before it can re-assert the last-good plan).
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"prete/internal/persist"
+	"prete/internal/routing"
+	"prete/internal/topology"
+	"prete/internal/wan"
+)
+
+// persistEpochBody builds a B4-scale EpochState payload (Table 3 tunnel
+// counts), the record size a production-shaped controller journals.
+func persistEpochBody(b *testing.B, epoch uint64) []byte {
+	b.Helper()
+	net, err := topology.B4()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := routing.BuildTunnels(net, routing.Flows(net), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := wan.EpochState{
+		Epoch:   epoch,
+		Rates:   make(map[string]float64, len(ts.Tunnels)),
+		PeerSeq: make(map[string]uint64, len(net.Nodes)),
+		Probs:   make([]float64, len(net.Fibers)),
+	}
+	for _, tn := range ts.Tunnels {
+		state.Rates[fmt.Sprintf("t%d", tn.ID)] = 50
+		path := make([]int, len(tn.Links))
+		for i, l := range tn.Links {
+			path[i] = int(l)
+		}
+		state.Tunnels = append(state.Tunnels, wan.TunnelInstall{
+			Switch: net.Nodes[int(ts.Flows[tn.Flow].Src)].Name, TunnelID: int(tn.ID), Path: path,
+		})
+	}
+	for _, n := range net.Nodes {
+		state.PeerSeq[n.Name] = 1000
+	}
+	for i := range state.Probs {
+		state.Probs[i] = 0.005
+	}
+	body, err := json.Marshal(&state)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func BenchmarkJournalAppend(b *testing.B) {
+	body := persistEpochBody(b, 1)
+	st, err := persist.Open(b.TempDir(), persist.Options{CompactEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append(uint64(i+1), body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	body := persistEpochBody(b, 1)
+	dir := b.TempDir()
+	st, err := persist.Open(dir, persist.Options{CompactEvery: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 32 epochs with cadence 8: snapshots at 8..32, pruned to the newest
+	// two, plus the post-snapshot journal — the steady-state directory
+	// shape a restart recovers from.
+	for e := uint64(1); e <= 32; e++ {
+		if err := st.Append(e, body); err != nil {
+			b.Fatal(err)
+		}
+		if st.NeedCompact() {
+			if err := st.Compact(e, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := persist.Recover(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Seq != 32 {
+			b.Fatalf("recovered seq %d, want 32", rec.Seq)
+		}
+	}
+}

@@ -42,6 +42,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
 		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'seed=7,drop=0.1,delay=0.5:10ms-50ms,crash=0.01:25' (empty = no faults)")
 		budget    = flag.String("budget", "", "TE solve budget 'UNITS[:TIMEOUT]', e.g. '5000', '5000:150ms', ':2s' (empty = unlimited); units are deterministic, the timeout is a wall-clock safety net")
+		stateDir  = flag.String("state-dir", "", "directory for crash-safe controller state (journaled snapshots); restarting with the same directory warm-restarts from the last journaled epoch (empty = stateless)")
 	)
 	flag.Parse()
 
@@ -105,6 +106,20 @@ func main() {
 	// RPC counters and latency from the controller's round trips.
 	tb.Ctl.Metrics = reg
 	tb.Ctl.Log = wan.NewEventLog()
+
+	if *stateDir != "" {
+		rec, err := tb.OpenState(*stateDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: -state-dir: %v\n", err)
+			os.Exit(1)
+		}
+		if rec.Warm {
+			fmt.Printf("controller state: warm restart from epoch %d (gen %d, %d records, %.2f ms; last-good plan re-asserted)\n",
+				rec.Epoch, rec.Generation, rec.RecordsReplayed, ms(rec.Elapsed))
+		} else {
+			fmt.Printf("controller state: cold start (gen %d)\n", rec.Generation)
+		}
+	}
 
 	timing, err := tb.RunScenario(*seed)
 	if err != nil {

@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"prete/internal/wan"
+)
+
+// TestCtlCrashSemantics pins the crash transport's contract: exactly
+// `budget` attempts proceed, every later one halts with an error that
+// unwraps to wan.ErrControllerHalted, and Arm/Disarm model the restart.
+func TestCtlCrashSemantics(t *testing.T) {
+	a := newAgent(t, "s1")
+	ct := NewCtlCrash(wan.TCPTransport{}, 2, nil)
+	ctl, err := wan.NewControllerTransport(ct, map[string]string{"s1": a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctl.Close() })
+	ctl.Retry = wan.RetryPolicy{MaxAttempts: 3}
+	// Budget 2: two pings succeed, the third halts.
+	for i := 0; i < 2; i++ {
+		if err := ctl.Ping(); err != nil {
+			t.Fatalf("ping %d under budget: %v", i, err)
+		}
+	}
+	err = ctl.Ping()
+	if !errors.Is(err, wan.ErrControllerHalted) {
+		t.Fatalf("over-budget ping: err = %v, want ErrControllerHalted", err)
+	}
+	if !ct.Halted() {
+		t.Error("transport not halted after trigger")
+	}
+	// At the transport layer the error is a *Halt carrying the peer and the
+	// global attempt number (the controller re-wraps it as the sentinel).
+	cn, err := ct.Dial("s1", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	_, terr := cn.RoundTrip(&wan.Request{Type: wan.MsgPing}, time.Second)
+	var h *Halt
+	if !errors.As(terr, &h) {
+		t.Fatalf("transport err %v does not unwrap to *Halt", terr)
+	}
+	if h.Peer != "s1" || !strings.Contains(h.Error(), "s1") || !errors.Is(h, wan.ErrControllerHalted) {
+		t.Errorf("Halt = %+v (%q), want peer s1 wrapping ErrControllerHalted", h, h.Error())
+	}
+	// Still dead until re-armed; no retries were burned (halt is final).
+	if err := ctl.Ping(); !errors.Is(err, wan.ErrControllerHalted) {
+		t.Fatalf("halted transport answered a ping: %v", err)
+	}
+	ct.Disarm()
+	if ct.Halted() {
+		t.Error("Disarm left the transport halted")
+	}
+	if err := ctl.Ping(); err != nil {
+		t.Fatalf("ping after Disarm: %v", err)
+	}
+	if ct.Attempts() < 5 {
+		t.Errorf("attempt counter = %d, want >= 5", ct.Attempts())
+	}
+	// CrashPoint stays inside its bounds and replays from the seed.
+	for seed := uint64(0); seed < 20; seed++ {
+		p := CrashPoint(seed, 1, 3, 9)
+		if p < 3 || p > 9 {
+			t.Fatalf("CrashPoint(seed=%d) = %d, out of [3, 9]", seed, p)
+		}
+		if q := CrashPoint(seed, 1, 3, 9); q != p {
+			t.Fatalf("CrashPoint not deterministic: %d vs %d", p, q)
+		}
+	}
+	if CrashPoint(7, 0, 5, 2) != 5 {
+		t.Error("CrashPoint with hi < lo should clamp to lo")
+	}
+}

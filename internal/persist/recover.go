@@ -1,0 +1,154 @@
+package persist
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Recovered is the outcome of scanning a state directory.
+type Recovered struct {
+	// Seq is the epoch sequence of the recovered state; Payload its body.
+	Seq     uint64
+	Payload []byte
+	// Stats describes how the recovery went (replay counts, skipped
+	// corruption, torn tails) for the wan.recovery.* surfacing.
+	Stats RecoveryStats
+}
+
+// RecoveryStats counts what recovery read and what it had to discard.
+type RecoveryStats struct {
+	// RecordsReplayed is the number of checksum-valid records examined
+	// across snapshots and journals.
+	RecordsReplayed int
+	// CorruptSkipped counts checksum failures, torn tails, and unreadable
+	// files that recovery stepped over record by record.
+	CorruptSkipped int
+	// TornTail reports that at least one journal ended mid-record — the
+	// signature of a crash during Append.
+	TornTail bool
+	// Snapshots and Journals are the candidate files found in the
+	// directory (before validation).
+	Snapshots, Journals int
+}
+
+// snapName / journalName build the on-disk file names. Journals carry the
+// writing incarnation's generation so two incarnations recovering from the
+// same sequence never append to one another's files.
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016x", seq) }
+
+func journalName(base, gen uint64) string {
+	return fmt.Sprintf("journal-%016x-%08x", base, gen)
+}
+
+func parseSnapName(name string) (seq uint64, ok bool) {
+	s, found := strings.CutPrefix(name, "snap-")
+	if !found || strings.HasSuffix(s, ".tmp") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	return v, err == nil
+}
+
+func parseJournalName(name string) (base, gen uint64, ok bool) {
+	s, found := strings.CutPrefix(name, "journal-")
+	if !found || strings.HasSuffix(s, ".tmp") {
+		return 0, 0, false
+	}
+	b, g, found := strings.Cut(s, "-")
+	if !found {
+		return 0, 0, false
+	}
+	bv, err1 := strconv.ParseUint(b, 16, 64)
+	gv, err2 := strconv.ParseUint(g, 16, 64)
+	return bv, gv, err1 == nil && err2 == nil
+}
+
+// recoverDir scans dir through fs and returns the newest valid state. The
+// rule is simple and conservative: every snapshot contributes its single
+// record if the checksum holds; every journal contributes its valid record
+// prefix (scan stops at the first torn or corrupt record); the candidate
+// with the highest sequence wins. Nothing that fails a checksum is ever
+// returned, and a directory with no valid record returns ErrNoState.
+func recoverDir(fs FS, dir string) (*Recovered, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: scan %s: %w", dir, err)
+	}
+	type journalFile struct{ base, gen uint64 }
+	var snaps []uint64
+	var journals []journalFile
+	for _, name := range names {
+		if seq, ok := parseSnapName(name); ok {
+			snaps = append(snaps, seq)
+		} else if base, gen, ok := parseJournalName(name); ok {
+			journals = append(journals, journalFile{base, gen})
+		}
+	}
+	// Deterministic scan order regardless of directory iteration order.
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(journals, func(i, j int) bool {
+		if journals[i].base != journals[j].base {
+			return journals[i].base < journals[j].base
+		}
+		return journals[i].gen < journals[j].gen
+	})
+
+	rec := &Recovered{}
+	rec.Stats.Snapshots = len(snaps)
+	rec.Stats.Journals = len(journals)
+	found := false
+	consider := func(r record) {
+		rec.Stats.RecordsReplayed++
+		if !found || r.seq >= rec.Seq {
+			rec.Seq = r.seq
+			rec.Payload = append([]byte(nil), r.body...)
+			found = true
+		}
+	}
+	for _, seq := range snaps {
+		b, err := fs.ReadFile(dir + "/" + snapName(seq))
+		if err != nil {
+			rec.Stats.CorruptSkipped++
+			continue
+		}
+		recs, torn, corrupt := scanRecords(b)
+		rec.Stats.CorruptSkipped += corrupt
+		// A snapshot is exactly one record; tolerate (ignore) trailing junk
+		// but never trust a snapshot whose record fails its checksum.
+		if torn && len(recs) == 0 {
+			continue
+		}
+		for _, r := range recs {
+			consider(r)
+		}
+	}
+	for _, j := range journals {
+		b, err := fs.ReadFile(dir + "/" + journalName(j.base, j.gen))
+		if err != nil {
+			rec.Stats.CorruptSkipped++
+			continue
+		}
+		recs, torn, corrupt := scanRecords(b)
+		rec.Stats.CorruptSkipped += corrupt
+		if torn {
+			rec.Stats.TornTail = true
+		}
+		for _, r := range recs {
+			consider(r)
+		}
+	}
+	if !found {
+		return rec, ErrNoState
+	}
+	return rec, nil
+}
+
+// Recover scans a state directory read-only (no lock, no generation bump)
+// and returns the newest valid state. It is what the fuzz target drives:
+// for arbitrary directory contents it must return a checksum-valid record
+// or ErrNoState — never panic, never torn state.
+func Recover(dir string) (*Recovered, error) {
+	return recoverDir(osFS{}, dir)
+}

@@ -1,0 +1,359 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Store is an open, locked state directory: an append-only journal of
+// per-epoch records plus caller-driven snapshot compaction. All methods are
+// safe for concurrent use; writes are serialized internally.
+type Store struct {
+	dir string
+	opt Options
+	fs  FS
+
+	mu        sync.Mutex
+	lock      io.Closer
+	journal   File
+	journBase uint64
+	count     int // records in the current journal
+	lastSeq   uint64
+	gen       uint64
+	snaps     []uint64 // known snapshot seqs, ascending
+	recovered *Recovered
+	closed    bool
+	broken    error // first write failure; the store refuses further writes
+}
+
+// Open locks dir (creating it if needed), durably increments the
+// generation counter, recovers the newest valid state, and starts a fresh
+// journal based at the recovered sequence. A directory held by another
+// live store fails fast with a typed *LockError. The recovered state (nil
+// payload on a cold start) is available via Recovered.
+func Open(dir string, opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	fs := opt.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("persist: mkdir %s: %w", dir, err)
+	}
+	lock, err := fs.Lock(dir + "/LOCK")
+	if err != nil {
+		if errors.Is(err, errWouldBlock) {
+			return nil, &LockError{Dir: dir}
+		}
+		return nil, fmt.Errorf("persist: lock %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, opt: opt, fs: fs, lock: lock}
+	if err := s.open(); err != nil {
+		lock.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) open() error {
+	m := s.opt.Metrics
+	t := m.Timer("persist.recover.time")
+	start := t.Start()
+	rec, err := recoverDir(s.fs, s.dir)
+	t.Stop(start)
+	cold := false
+	if err != nil {
+		if !errors.Is(err, ErrNoState) {
+			return err
+		}
+		cold = true
+	}
+	s.recovered = rec
+	s.lastSeq = rec.Seq
+	m.Counter("persist.recover.runs").Inc()
+	if cold {
+		m.Counter("persist.recover.cold").Inc()
+	}
+	m.Counter("persist.recover.records_replayed").Add(int64(rec.Stats.RecordsReplayed))
+	m.Counter("persist.recover.corrupt_skipped").Add(int64(rec.Stats.CorruptSkipped))
+
+	// Remember existing snapshots for compaction-time cleanup, and the
+	// highest generation stamped into any journal name.
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("persist: scan %s: %w", s.dir, err)
+	}
+	var maxJournalGen uint64
+	for _, name := range names {
+		if seq, ok := parseSnapName(name); ok {
+			s.snaps = append(s.snaps, seq)
+		} else if _, gen, ok := parseJournalName(name); ok && gen > maxJournalGen {
+			maxJournalGen = gen
+		}
+	}
+	sort.Slice(s.snaps, func(i, j int) bool { return s.snaps[i] < s.snaps[j] })
+
+	// Durably claim the next generation before any other write: a crash
+	// after the rename costs one generation number, never uniqueness. The
+	// journal-name generations guard the counter file itself: even if it is
+	// damaged, the claimed generation stays above every journal already in
+	// the directory, so the fresh journal never lands on an old file.
+	prev := s.readGen()
+	if maxJournalGen > prev {
+		prev = maxJournalGen
+	}
+	s.gen = prev + 1
+	if err := s.writeGen(s.gen); err != nil {
+		return err
+	}
+	m.Gauge("persist.generation").Set(float64(s.gen))
+
+	// Never append to an inherited journal (its tail may be torn): start a
+	// fresh one based at the recovered sequence, named with our generation.
+	return s.rotateJournal(s.lastSeq)
+}
+
+// readGen returns the persisted generation counter, 0 when absent or
+// damaged (the counter file is written atomically, so "damaged" means a
+// hand-edited directory; uniqueness degrades gracefully to freshness).
+func (s *Store) readGen() uint64 {
+	b, err := s.fs.ReadFile(s.dir + "/gen")
+	if err != nil {
+		return 0
+	}
+	recs, _, _ := scanRecords(b)
+	if len(recs) == 0 {
+		return 0
+	}
+	return recs[0].seq
+}
+
+// writeGen persists the generation counter via temp + fsync + rename.
+func (s *Store) writeGen(gen uint64) error {
+	buf := append([]byte(nil), magic...)
+	buf = appendRecord(buf, gen, nil)
+	if err := s.writeAtomic("gen", buf); err != nil {
+		return fmt.Errorf("persist: write generation: %w", err)
+	}
+	return nil
+}
+
+// writeAtomic writes name via a .tmp sibling, fsync, rename, dir fsync.
+func (s *Store) writeAtomic(name string, b []byte) error {
+	tmp := s.dir + "/" + name + ".tmp"
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	t := s.opt.Metrics.Timer("persist.fsync")
+	start := t.Start()
+	err = f.Sync()
+	t.Stop(start)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(tmp, s.dir+"/"+name); err != nil {
+		return err
+	}
+	return s.fs.SyncDir(s.dir)
+}
+
+// rotateJournal closes the current journal (if any) and starts an empty
+// one based at base.
+func (s *Store) rotateJournal(base uint64) error {
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			return fmt.Errorf("persist: close journal: %w", err)
+		}
+		s.journal = nil
+	}
+	name := journalName(base, s.gen)
+	f, err := s.fs.OpenAppend(s.dir + "/" + name)
+	if err != nil {
+		return fmt.Errorf("persist: open journal %s: %w", name, err)
+	}
+	if _, err := f.Write(magic); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: journal magic: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: journal sync: %w", err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	s.journal = f
+	s.journBase = base
+	s.count = 0
+	return nil
+}
+
+// Recovered returns what Open recovered (Payload nil on a cold start).
+// The result is owned by the store; callers must not mutate it.
+func (s *Store) Recovered() *Recovered { return s.recovered }
+
+// Generation returns this incarnation's fence value: strictly greater than
+// every generation any earlier opener of the directory ever held.
+func (s *Store) Generation() uint64 { return s.gen }
+
+// LastSeq returns the highest epoch sequence committed (recovered or
+// appended).
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// JournalLen returns the number of records in the current journal.
+func (s *Store) JournalLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// NeedCompact reports whether the journal has reached the compaction
+// cadence (Options.CompactEvery) and the caller should Compact.
+func (s *Store) NeedCompact() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count >= s.opt.CompactEvery
+}
+
+// Append journals one epoch record and fsyncs it: when Append returns nil
+// the record survives kill -9. Sequences must be strictly increasing; the
+// first write failure poisons the store (a partial write leaves the tail
+// torn, which recovery handles, but further appends behind it would be
+// unreachable, so the store refuses them).
+func (s *Store) Append(seq uint64, body []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: append on closed store")
+	}
+	if s.broken != nil {
+		return fmt.Errorf("persist: store broken by earlier write failure: %w", s.broken)
+	}
+	if seq <= s.lastSeq {
+		return fmt.Errorf("persist: append seq %d not after %d", seq, s.lastSeq)
+	}
+	buf := appendRecord(nil, seq, body)
+	if _, err := s.journal.Write(buf); err != nil {
+		s.broken = err
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	t := s.opt.Metrics.Timer("persist.fsync")
+	start := t.Start()
+	err := s.journal.Sync()
+	t.Stop(start)
+	if err != nil {
+		s.broken = err
+		return fmt.Errorf("persist: append sync: %w", err)
+	}
+	s.lastSeq = seq
+	s.count++
+	s.opt.Metrics.Counter("persist.appends").Inc()
+	s.opt.Metrics.Counter("persist.append_bytes").Add(int64(len(buf)))
+	return nil
+}
+
+// Compact writes the full state at seq as an atomic snapshot, rotates the
+// journal to an empty one based at seq, and prunes files that recovery no
+// longer needs (the newest two snapshots are kept: the previous one is the
+// fallback if the newest is ever damaged).
+func (s *Store) Compact(seq uint64, snapshot []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: compact on closed store")
+	}
+	if s.broken != nil {
+		return fmt.Errorf("persist: store broken by earlier write failure: %w", s.broken)
+	}
+	if seq < s.lastSeq {
+		return fmt.Errorf("persist: compact seq %d behind journal seq %d", seq, s.lastSeq)
+	}
+	buf := append([]byte(nil), magic...)
+	buf = appendRecord(buf, seq, snapshot)
+	if err := s.writeAtomic(snapName(seq), buf); err != nil {
+		s.broken = err
+		return fmt.Errorf("persist: snapshot %d: %w", seq, err)
+	}
+	s.lastSeq = seq
+	s.snaps = append(s.snaps, seq)
+	sort.Slice(s.snaps, func(i, j int) bool { return s.snaps[i] < s.snaps[j] })
+	if err := s.rotateJournal(seq); err != nil {
+		s.broken = err
+		return err
+	}
+	s.prune()
+	s.opt.Metrics.Counter("persist.snapshots").Inc()
+	return nil
+}
+
+// prune removes snapshots older than the newest two and journals subsumed
+// by the older kept snapshot. Best-effort: a failed remove only costs disk.
+func (s *Store) prune() {
+	if len(s.snaps) <= 2 {
+		return
+	}
+	keepFrom := s.snaps[len(s.snaps)-2]
+	for _, seq := range s.snaps[:len(s.snaps)-2] {
+		if s.fs.Remove(s.dir+"/"+snapName(seq)) == nil {
+			s.opt.Metrics.Counter("persist.pruned").Inc()
+		}
+	}
+	s.snaps = append([]uint64(nil), s.snaps[len(s.snaps)-2:]...)
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		base, gen, ok := parseJournalName(name)
+		if !ok || (base == s.journBase && gen == s.gen) {
+			continue
+		}
+		if base < keepFrom {
+			if s.fs.Remove(s.dir+"/"+name) == nil {
+				s.opt.Metrics.Counter("persist.pruned").Inc()
+			}
+		}
+	}
+}
+
+// Close releases the journal and the directory lock. Idempotent: a second
+// Close is a no-op returning nil, so owners can both defer and explicitly
+// close. Close never flushes — every successful Append/Compact is already
+// durable — so closing is equivalent to a crash as far as recovery is
+// concerned.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.journal = nil
+	}
+	if s.lock != nil {
+		if err := s.lock.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.lock = nil
+	}
+	return first
+}

@@ -40,9 +40,12 @@ type SwitchAgent struct {
 
 	ln net.Listener
 
-	mu      sync.Mutex
-	tunnels map[int][]int
-	rates   map[string]float64
+	mu           sync.Mutex
+	tunnels      map[int][]int
+	rates        map[string]float64
+	maxGen       uint64 // highest controller generation seen (epoch fence)
+	lastSeq      uint64 // highest sequence seen from that generation
+	fenceRejects int
 
 	connMu sync.Mutex
 	conns  map[*conn]struct{}
@@ -113,6 +116,22 @@ func (a *SwitchAgent) untrack(c *conn) {
 	a.connMu.Unlock()
 }
 
+// MaxGen returns the highest controller generation this agent has accepted
+// a fenced request from (0 = never fenced).
+func (a *SwitchAgent) MaxGen() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.maxGen
+}
+
+// FenceRejections returns how many requests this agent refused because they
+// carried a stale controller generation.
+func (a *SwitchAgent) FenceRejections() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fenceRejects
+}
+
 // NumTunnels returns the current tunnel-table size.
 func (a *SwitchAgent) NumTunnels() int {
 	a.mu.Lock()
@@ -176,6 +195,33 @@ func (a *SwitchAgent) serve(c *conn) {
 
 func (a *SwitchAgent) handle(req *Request) *Response {
 	start := time.Now()
+	// Epoch fence: a fenced request (Gen > 0) from a generation older than
+	// one already seen comes from a dead controller incarnation — a delayed
+	// duplicate or a zombie that lost the state-directory lock — and must
+	// not mutate switch state. Gen 0 is the unfenced legacy protocol and is
+	// always accepted.
+	if req.Gen > 0 {
+		a.mu.Lock()
+		if req.Gen < a.maxGen {
+			gen := a.maxGen
+			a.fenceRejects++
+			a.mu.Unlock()
+			return &Response{
+				Err:      fmt.Sprintf("stale controller generation %d, fenced to %d", req.Gen, gen),
+				TunnelID: req.TunnelID,
+				Stale:    true,
+				Gen:      gen,
+			}
+		}
+		if req.Gen > a.maxGen {
+			a.maxGen = req.Gen
+			a.lastSeq = 0
+		}
+		if req.Seq > a.lastSeq {
+			a.lastSeq = req.Seq
+		}
+		a.mu.Unlock()
+	}
 	resp := &Response{OK: true, TunnelID: req.TunnelID}
 	switch req.Type {
 	case MsgPing:

@@ -1,14 +1,23 @@
 package wan
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"prete/internal/obs"
+	"prete/internal/persist"
 	"prete/internal/stats"
 )
+
+// ErrControllerHalted marks an RPC failure caused by the controller process
+// itself dying (the fault injector's crash-restart mode raises it). Unlike
+// a flaky link it is not retried — a dead process sends nothing — and the
+// degradation ladder does not fall back: the round is aborted and recovery
+// happens through OpenState on the next incarnation.
+var ErrControllerHalted = errors.New("wan: controller halted")
 
 // RetryPolicy bounds the controller's per-RPC retry loop: up to MaxAttempts
 // tries per request, waiting a capped exponential backoff between attempts.
@@ -95,10 +104,20 @@ type Controller struct {
 	// seeded chaos runs can be diffed for bit-identical replay.
 	Log *EventLog
 
+	// StateCompactEvery overrides the journal compaction cadence used by
+	// OpenState (0 = persist's default).
+	StateCompactEvery int
+
 	rng *stats.RNG // backoff jitter stream
 
 	mu        sync.Mutex
 	lastRates map[string]float64 // last table pushed fleet-wide without error
+	store     *persist.Store     // nil unless OpenState attached one
+	gen       uint64             // fence value stamped into RPCs (0 = unfenced)
+	epoch     uint64             // completed (journaled or recovered) epochs
+	peerSeq   map[string]uint64  // per-agent RPC sequence numbers
+	installed map[string]TunnelInstall
+	lastProbs []float64 // probability vector of the last journaled epoch
 }
 
 // NewController dials the given agents (name -> address) over TCP.
@@ -141,7 +160,11 @@ func sortedNames(m map[string]string) []string {
 // reproducible identity; the default seed is fixed, so this is optional).
 func (c *Controller) SeedBackoffJitter(seed uint64) { c.rng = stats.NewRNG(seed) }
 
-// Close tears down all connections.
+// Close tears down all connections and releases the state store (and with
+// it the state-directory lock), if one is attached. The store is never
+// flushed on Close — every journaled epoch is already durable — so closing
+// is equivalent to a crash as far as the next incarnation's recovery is
+// concerned.
 func (c *Controller) Close() error {
 	var first error
 	for _, cn := range c.conns {
@@ -149,7 +172,32 @@ func (c *Controller) Close() error {
 			first = err
 		}
 	}
+	c.mu.Lock()
+	st := c.store
+	c.store = nil
+	c.mu.Unlock()
+	if st != nil {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	return first
+}
+
+// stamp assigns the fence generation and the next per-peer sequence number
+// for one logical RPC to name. Unfenced controllers (no state store) stamp
+// nothing, keeping the wire encoding identical to the legacy protocol.
+func (c *Controller) stamp(name string) (gen, seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen == 0 {
+		return 0, 0
+	}
+	if c.peerSeq == nil {
+		c.peerSeq = make(map[string]uint64)
+	}
+	c.peerSeq[name]++
+	return c.gen, c.peerSeq[name]
 }
 
 // rpc wraps a connection round trip with the controller's retry loop and
@@ -162,6 +210,9 @@ func (c *Controller) rpc(name string, cn Conn, req *Request) (*Response, error) 
 	if pol.MaxAttempts < 1 {
 		pol.MaxAttempts = 1
 	}
+	// One sequence number per logical RPC: retried attempts re-send the same
+	// (gen, seq), so duplicate deliveries are recognizable as one request.
+	req.Gen, req.Seq = c.stamp(name)
 	for attempt := 1; ; attempt++ {
 		t := c.Metrics.Timer("wan.rpc.latency")
 		start := t.Start()
@@ -174,8 +225,21 @@ func (c *Controller) rpc(name string, cn Conn, req *Request) (*Response, error) 
 			return resp, nil
 		}
 		c.Metrics.Counter("wan.rpc.errors").Inc()
+		if errors.Is(err, ErrControllerHalted) {
+			// The process "died" mid-request: no retries, no fallback — the
+			// round is over and the next incarnation recovers from disk.
+			c.Metrics.Counter("wan.rpc.halted").Inc()
+			c.Log.Addf("rpc %s %s halted", name, req.Type)
+			return nil, fmt.Errorf("wan: %s %s: %w", name, req.Type, ErrControllerHalted)
+		}
 		if resp != nil {
-			c.Log.Addf("rpc %s %s rejected", name, req.Type)
+			if resp.Stale {
+				// Fenced by the agent: this incarnation is superseded.
+				c.Metrics.Counter("wan.recovery.fence_rejections").Inc()
+				c.Log.Addf("rpc %s %s fenced", name, req.Type)
+			} else {
+				c.Log.Addf("rpc %s %s rejected", name, req.Type)
+			}
 			return resp, err
 		}
 		if attempt >= pol.MaxAttempts {
@@ -230,8 +294,26 @@ func (c *Controller) InstallTunnels(installs []TunnelInstall) (time.Duration, er
 		}); err != nil {
 			return time.Since(start), err
 		}
+		c.trackInstall(ins)
 	}
 	return time.Since(start), nil
+}
+
+// trackInstall records a successfully installed tunnel for journaling.
+func (c *Controller) trackInstall(ins TunnelInstall) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.installed == nil {
+		c.installed = make(map[string]TunnelInstall)
+	}
+	ins.Path = append([]int(nil), ins.Path...)
+	c.installed[installKey(ins.Switch, ins.TunnelID)] = ins
+}
+
+func (c *Controller) untrackInstall(ins TunnelInstall) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.installed, installKey(ins.Switch, ins.TunnelID))
 }
 
 // UpdateRates pushes a rate-adaptation table to every switch ("only
@@ -267,6 +349,12 @@ func (c *Controller) UpdateRatesWithFallback(rates map[string]float64) (time.Dur
 	d, err := c.UpdateRates(rates)
 	if err == nil {
 		return d, false, nil
+	}
+	if errors.Is(err, ErrControllerHalted) {
+		// A dead controller cannot re-assert anything: surface the halt so
+		// the caller aborts the round (recovery is the next incarnation's
+		// OpenState, not a fallback push).
+		return d, false, err
 	}
 	c.Metrics.Counter("wan.fallback.rounds").Inc()
 	c.Log.Addf("fallback rates")
@@ -323,6 +411,7 @@ func (c *Controller) RemoveTunnels(installs []TunnelInstall) error {
 		if _, err := c.rpc(ins.Switch, cn, &Request{Type: MsgRemoveTunnel, TunnelID: ins.TunnelID}); err != nil {
 			return err
 		}
+		c.untrackInstall(ins)
 	}
 	return nil
 }

@@ -24,20 +24,31 @@ const (
 	MsgPing          MsgType = "ping"
 )
 
-// Request is a controller -> switch message.
+// Request is a controller -> switch message. Gen and Seq implement the
+// controller-incarnation fence: Gen is the sender's durable generation
+// (persist.Store.Generation), Seq a per-peer monotone sequence. Both are
+// zero — and absent from the wire, keeping the encoding byte-identical to
+// the unfenced protocol — when the controller runs without a state store.
 type Request struct {
 	Type     MsgType            `json:"type"`
 	TunnelID int                `json:"tunnel_id,omitempty"`
 	Path     []int              `json:"path,omitempty"` // link IDs
 	Rates    map[string]float64 `json:"rates,omitempty"`
+	Gen      uint64             `json:"gen,omitempty"`
+	Seq      uint64             `json:"seq,omitempty"`
 }
 
-// Response is a switch -> controller message.
+// Response is a switch -> controller message. Stale marks a fence
+// rejection: the request carried a generation older than one the agent has
+// already seen, i.e. it came from a dead controller incarnation; Gen then
+// reports the generation the agent is fenced to.
 type Response struct {
 	OK       bool    `json:"ok"`
 	Err      string  `json:"err,omitempty"`
 	TookMS   float64 `json:"took_ms"`
 	TunnelID int     `json:"tunnel_id,omitempty"`
+	Stale    bool    `json:"stale,omitempty"`
+	Gen      uint64  `json:"gen,omitempty"`
 }
 
 // conn wraps a TCP connection with JSON framing (one JSON value per line,

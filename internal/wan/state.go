@@ -1,0 +1,253 @@
+package wan
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"prete/internal/persist"
+)
+
+// EpochState is the controller state journaled after every successful TE
+// epoch and recovered on warm restart: everything the degradation ladder
+// needs to resume from "last-good" instead of an empty plan. The JSON
+// encoding is deterministic (maps sort by key, tunnels are sorted before
+// marshaling), so identical epochs journal byte-identically — the chaos
+// replay tests diff on this.
+type EpochState struct {
+	// Epoch is the 1-based count of completed reaction rounds.
+	Epoch uint64 `json:"epoch"`
+	// Rates is the last rate table pushed fleet-wide without error (the
+	// ladder's last-good rung).
+	Rates map[string]float64 `json:"rates,omitempty"`
+	// Tunnels is the installed reactive tunnel set, sorted by
+	// (switch, tunnel id).
+	Tunnels []TunnelInstall `json:"tunnels,omitempty"`
+	// PeerSeq is the per-agent RPC sequence state, so a warm-restarted
+	// controller resumes numbering instead of restarting at zero.
+	PeerSeq map[string]uint64 `json:"peer_seq,omitempty"`
+	// Probs is the most recent calibrated per-fiber failure probability
+	// vector (Eqn. 1 output) the scenario set was built from.
+	Probs []float64 `json:"probs,omitempty"`
+}
+
+// encode marshals the state deterministically.
+func (s *EpochState) encode() ([]byte, error) { return json.Marshal(s) }
+
+// decodeEpochState rejects records that parse but are not plausible state
+// (recovery must never resurrect garbage into the ladder).
+func decodeEpochState(b []byte) (*EpochState, error) {
+	var s EpochState
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("wan: decode recovered state: %w", err)
+	}
+	if s.Epoch == 0 {
+		return nil, fmt.Errorf("wan: recovered state has epoch 0")
+	}
+	for k, v := range s.Rates {
+		if v < 0 {
+			return nil, fmt.Errorf("wan: recovered state has negative rate %s=%v", k, v)
+		}
+	}
+	for i, p := range s.Probs {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("wan: recovered state prob[%d]=%v out of [0,1]", i, p)
+		}
+	}
+	return &s, nil
+}
+
+// Recovery describes what OpenState found in the state directory.
+type Recovery struct {
+	// Warm reports that a valid prior state was recovered; false is a cold
+	// start (fresh directory, or nothing survived corruption).
+	Warm bool
+	// Epoch is the recovered epoch sequence (0 when cold).
+	Epoch uint64
+	// Generation is this incarnation's fence value, stamped into every RPC.
+	Generation uint64
+	// RecordsReplayed and CorruptSkipped summarize the recovery scan.
+	RecordsReplayed, CorruptSkipped int
+	// Elapsed is the wall time of open + recover + apply.
+	Elapsed time.Duration
+	// State is the recovered state itself (nil when cold).
+	State *EpochState
+}
+
+// OpenState attaches a crash-safe state store to the controller: it locks
+// dir (failing fast with persist.LockError if another incarnation holds
+// it), recovers the newest valid snapshot+journal state, resumes the
+// degradation ladder from the recovered last-good rates, and fences all
+// subsequent RPCs with the store's generation. With no recoverable state
+// the controller starts cold but still fenced. Call before the first RPC.
+func (c *Controller) OpenState(dir string) (*Recovery, error) {
+	start := time.Now()
+	c.mu.Lock()
+	if c.store != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wan: controller state already open")
+	}
+	c.mu.Unlock()
+	st, err := persist.Open(dir, persist.Options{
+		CompactEvery: c.StateCompactEvery,
+		Metrics:      c.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovery{Generation: st.Generation()}
+	pr := st.Recovered()
+	rec.RecordsReplayed = pr.Stats.RecordsReplayed
+	rec.CorruptSkipped = pr.Stats.CorruptSkipped
+	if pr.Payload != nil {
+		state, err := decodeEpochState(pr.Payload)
+		if err != nil {
+			// A checksum-valid record that does not decode as controller
+			// state: treat as cold rather than wedging the restart, but
+			// count it — this is a versioning or tampering signal.
+			c.Metrics.Counter("wan.recovery.decode_errors").Inc()
+		} else {
+			rec.Warm = true
+			rec.Epoch = state.Epoch
+			rec.State = state
+		}
+	}
+	c.mu.Lock()
+	c.store = st
+	c.gen = st.Generation()
+	if rec.Warm {
+		s := rec.State
+		c.epoch = s.Epoch
+		c.lastRates = copyRates(s.Rates)
+		c.lastProbs = append([]float64(nil), s.Probs...)
+		c.peerSeq = make(map[string]uint64, len(s.PeerSeq))
+		for k, v := range s.PeerSeq {
+			c.peerSeq[k] = v
+		}
+		c.installed = make(map[string]TunnelInstall, len(s.Tunnels))
+		for _, tn := range s.Tunnels {
+			c.installed[installKey(tn.Switch, tn.TunnelID)] = tn
+		}
+	}
+	c.mu.Unlock()
+	rec.Elapsed = time.Since(start)
+	c.Metrics.Counter("wan.recovery.runs").Inc()
+	if rec.Warm {
+		c.Metrics.Counter("wan.recovery.warm").Inc()
+	} else {
+		c.Metrics.Counter("wan.recovery.cold").Inc()
+	}
+	c.Metrics.Counter("wan.recovery.records").Add(int64(rec.RecordsReplayed))
+	c.Metrics.Counter("wan.recovery.corrupt_skipped").Add(int64(rec.CorruptSkipped))
+	c.Metrics.Timer("wan.recovery.time").Observe(rec.Elapsed)
+	if rec.Warm {
+		c.Log.Addf("recovery warm epoch=%d gen=%d", rec.Epoch, rec.Generation)
+	} else {
+		c.Log.Addf("recovery cold gen=%d", rec.Generation)
+	}
+	return rec, nil
+}
+
+// Generation returns the controller's fence value (0 = unfenced: no state
+// store attached).
+func (c *Controller) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Epoch returns the number of epochs journaled by this controller lineage
+// (recovered + locally completed).
+func (c *Controller) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// LastProbs returns the calibrated failure-probability vector of the most
+// recent journaled (or recovered) epoch, nil if none.
+func (c *Controller) LastProbs() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.lastProbs...)
+}
+
+// InstalledTunnels returns the tracked installed tunnel set, sorted by
+// (switch, tunnel id).
+func (c *Controller) InstalledTunnels() []TunnelInstall {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.installedLocked()
+}
+
+func (c *Controller) installedLocked() []TunnelInstall {
+	out := make([]TunnelInstall, 0, len(c.installed))
+	for _, tn := range c.installed {
+		out = append(out, tn)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Switch != out[j].Switch {
+			return out[i].Switch < out[j].Switch
+		}
+		return out[i].TunnelID < out[j].TunnelID
+	})
+	return out
+}
+
+// JournalEpoch records the completion of one successful TE epoch: the
+// last-good rates, the installed tunnel set, per-peer RPC sequences, and
+// the calibrated probability vector, fsynced into the journal before the
+// call returns, compacting into a snapshot on the store's cadence. A nil
+// store makes it a no-op — journaling is a write-only side channel, and
+// with StateDir unset the controller behaves byte-identically to one
+// without persistence compiled in.
+func (c *Controller) JournalEpoch(probs []float64) error {
+	c.mu.Lock()
+	if c.store == nil {
+		c.mu.Unlock()
+		return nil
+	}
+	c.epoch++
+	c.lastProbs = append([]float64(nil), probs...)
+	state := &EpochState{
+		Epoch:   c.epoch,
+		Rates:   copyRates(c.lastRates),
+		Tunnels: c.installedLocked(),
+		PeerSeq: make(map[string]uint64, len(c.peerSeq)),
+		Probs:   append([]float64(nil), probs...),
+	}
+	for k, v := range c.peerSeq {
+		state.PeerSeq[k] = v
+	}
+	st := c.store
+	seq := c.epoch
+	c.mu.Unlock()
+
+	b, err := state.encode()
+	if err != nil {
+		return fmt.Errorf("wan: journal epoch %d: %w", seq, err)
+	}
+	if err := st.Append(seq, b); err != nil {
+		return fmt.Errorf("wan: journal epoch %d: %w", seq, err)
+	}
+	if st.NeedCompact() {
+		if err := st.Compact(seq, b); err != nil {
+			return fmt.Errorf("wan: compact epoch %d: %w", seq, err)
+		}
+	}
+	return nil
+}
+
+func copyRates(rates map[string]float64) map[string]float64 {
+	if rates == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(rates))
+	for k, v := range rates {
+		out[k] = v
+	}
+	return out
+}
+
+func installKey(sw string, id int) string { return fmt.Sprintf("%s/%d", sw, id) }

@@ -1,6 +1,7 @@
 package wan
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -206,6 +207,12 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 	planTunnels := upd.Tunnels
 	installs := tb.installsFor(upd)
 	if _, err := tb.Ctl.InstallTunnels(installs); err != nil {
+		if errors.Is(err, ErrControllerHalted) {
+			// The controller process died mid-epoch: no ladder, no journal
+			// entry for this epoch — the round aborts and the next
+			// incarnation recovers the last journaled state from disk.
+			return nil, err
+		}
 		// Ladder rung 1: the reactive tunnels could not all be programmed
 		// even after retries. Plan on the previous tunnel set instead of
 		// wedging; any tunnels that did land are harmless (no rates are
@@ -270,11 +277,72 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 	for tid, amt := range res.Alloc {
 		rates[fmt.Sprintf("t%d", tid)] = amt
 	}
-	if _, fellBack, _ := tb.Ctl.UpdateRatesWithFallback(rates); fellBack {
+	if _, fellBack, err := tb.Ctl.UpdateRatesWithFallback(rates); err != nil && errors.Is(err, ErrControllerHalted) {
+		return nil, err
+	} else if fellBack {
 		timing.Degraded = true
 	}
 	timing.RateInstall = time.Since(t0)
+
+	// The epoch completed (possibly degraded, but with a consistent plan
+	// installed): journal it so a warm restart resumes from here. A nil
+	// store (no -state-dir) makes this a no-op, and journaling is a
+	// write-only side channel — it never changes the installed plan.
+	if err := tb.Ctl.JournalEpoch(probs); err != nil {
+		return nil, fmt.Errorf("wan: epoch completed but not journaled: %w", err)
+	}
 	return &timing, nil
+}
+
+// OpenState attaches a crash-safe state store under dir to the testbed's
+// controller and, on a warm start, re-asserts the recovered last-good rate
+// table fleet-wide — the agents of a restarted controller may themselves
+// have restarted, so recovery pushes the plan instead of assuming it. The
+// returned Recovery reports what was found; rec.Warm == false is a cold
+// start (the ladder begins empty, exactly as without a state directory).
+func (tb *Testbed) OpenState(dir string) (*Recovery, error) {
+	rec, err := tb.Ctl.OpenState(dir)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Warm {
+		if last := tb.Ctl.LastGoodRates(); last != nil {
+			if _, err := tb.Ctl.UpdateRates(last); err != nil {
+				return rec, fmt.Errorf("wan: re-assert recovered rates: %w", err)
+			}
+		}
+	}
+	return rec, nil
+}
+
+// RestartController simulates a controller process restart: the old
+// incarnation is torn down (dropping its connections and releasing its
+// state-directory lock) and a fresh controller dials the same agents
+// through tr, inheriting the old tuning (timeout, retry policy, metrics,
+// event log) but none of the in-memory state — that comes back, if at all,
+// through OpenState.
+func (tb *Testbed) RestartController(tr Transport) error {
+	agents := make(map[string]string, len(tb.Agents))
+	for _, a := range tb.Agents {
+		agents[a.Name] = a.Addr()
+	}
+	old := tb.Ctl
+	if old != nil {
+		old.Close()
+	}
+	ctl, err := NewControllerTransport(tr, agents)
+	if err != nil {
+		return err
+	}
+	if old != nil {
+		ctl.Timeout = old.Timeout
+		ctl.Retry = old.Retry
+		ctl.Metrics = old.Metrics
+		ctl.Log = old.Log
+		ctl.StateCompactEvery = old.StateCompactEvery
+	}
+	tb.Ctl = ctl
+	return nil
 }
 
 // installsFor maps Algorithm 1's new tunnels to per-switch install
