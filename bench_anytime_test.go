@@ -21,7 +21,7 @@ import (
 )
 
 // anytimeInput mirrors the deadline experiment's instance construction.
-func anytimeInput(b *testing.B, topo string) *te.Input {
+func anytimeInput(b testing.TB, topo string) *te.Input {
 	b.Helper()
 	net, err := topology.ByName(topo)
 	if err != nil {

@@ -1,0 +1,232 @@
+// Command prete-doclint enforces the repository's godoc contract without
+// external dependencies: every package under the given roots must carry a
+// real package comment, and every exported top-level symbol — functions,
+// methods on exported receivers, types, and const/var specs — must have a
+// doc comment. Test files are exempt, grouped const/var blocks may share
+// the block's doc comment, and package comments below a minimum length are
+// rejected as placeholders. CI runs it over ./internal and the root
+// package; exit status 1 means violations were printed.
+//
+// Usage:
+//
+//	prete-doclint [dir ...]   (default: ./internal .)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// minPackageDoc is the minimum package-comment length (in characters of
+// comment text) accepted as "real" — long enough to say what the package
+// is, short enough not to demand an essay.
+const minPackageDoc = 40
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: prete-doclint [dir ...]   (default: ./internal .)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"./internal", "."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				dir := filepath.Dir(path)
+				if !seen[dir] {
+					seen[dir] = true
+					dirs = append(dirs, dir)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-doclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(dirs)
+	violations := 0
+	for _, dir := range dirs {
+		violations += lintDir(dir)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "prete-doclint: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory (tests excluded) and prints every
+// doc-comment violation, returning the count.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prete-doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	count := 0
+	report := func(pos token.Pos, format string, args ...any) {
+		fmt.Printf("%s: %s\n", fset.Position(pos), fmt.Sprintf(format, args...))
+		count++
+	}
+	for _, pkg := range pkgs {
+		if !packageDocOK(pkg) {
+			// Anchor the report at the alphabetically first file.
+			names := make([]string, 0, len(pkg.Files))
+			for name := range pkg.Files {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			report(pkg.Files[names[0]].Package,
+				"package %s has no real package comment (>= %d chars)", pkg.Name, minPackageDoc)
+		}
+		for _, name := range sortedFileNames(pkg) {
+			lintFile(pkg.Files[name], report)
+		}
+	}
+	return count
+}
+
+func sortedFileNames(pkg *ast.Package) []string {
+	names := make([]string, 0, len(pkg.Files))
+	for name := range pkg.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// packageDocOK accepts the package if any of its files carries a package
+// comment of at least minPackageDoc characters.
+func packageDocOK(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) >= minPackageDoc {
+			return true
+		}
+	}
+	return false
+}
+
+// lintFile reports every exported top-level symbol without a doc comment.
+func lintFile(f *ast.File, report func(token.Pos, string, ...any)) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "exported %s %s lacks a doc comment", funcKind(d), funcName(d))
+			}
+		case *ast.GenDecl:
+			lintGenDecl(d, report)
+		}
+	}
+}
+
+// lintGenDecl checks type, const, and var declarations. Exported specs
+// inside a grouped declaration may share the group's doc comment — the
+// idiomatic enum/block style — but an undocumented group with undocumented
+// exported members is a violation per member.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+				report(s.Pos(), "exported type %s lacks a doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil || d.Doc != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), "exported %s %s lacks a doc comment", d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver base type is
+// exported (methods on unexported types are not part of the package API).
+// Plain functions trivially pass.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		if name := receiverTypeName(d.Recv.List[0].Type); name != "" {
+			return name + "." + d.Name.Name
+		}
+	}
+	return d.Name.Name
+}
+
+func receiverTypeName(t ast.Expr) string {
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command prete-mdlint checks the repository's markdown files for broken
+// relative links: every `[text](target)` whose target is not an external
+// URL (http/https/mailto) or a pure in-page anchor must resolve to an
+// existing file or directory relative to the markdown file. Fragments are
+// stripped before the existence check (`FILE.md#section` checks FILE.md);
+// link targets inside fenced code blocks are ignored. Exit status 1 means
+// broken links were printed.
+//
+// Usage:
+//
+//	prete-mdlint [dir ...]   (default: .)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links, non-greedily, skipping images'
+// leading bang via the capture of the target only.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: prete-mdlint [dir ...]   (default: .)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	broken := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || name == "vendor" || name == "node_modules") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(strings.ToLower(path), ".md") {
+				broken += lintFile(path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-mdlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "prete-mdlint: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// lintFile reports every broken relative link in one markdown file.
+func lintFile(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prete-mdlint: %v\n", err)
+		return 1
+	}
+	broken := 0
+	inFence := false
+	for i, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipTarget(target) {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: broken link %s (%s does not exist)\n", path, i+1, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	return broken
+}
+
+// skipTarget reports link targets the checker does not validate: external
+// URLs and pure in-page anchors.
+func skipTarget(t string) bool {
+	return strings.HasPrefix(t, "http://") || strings.HasPrefix(t, "https://") ||
+		strings.HasPrefix(t, "mailto:") || strings.HasPrefix(t, "#")
+}

@@ -28,6 +28,7 @@ type Truncation struct {
 	Limit string
 }
 
+// Error implements error.
 func (t *Truncation) Error() string {
 	return fmt.Sprintf("core: %s solve truncated (%s limit) before any feasible incumbent", t.Stage, t.Limit)
 }

@@ -263,11 +263,32 @@ func (o *Optimizer) Solve(in *te.Input) (*Result, error) {
 // — the caller always gets an installable plan. A nil budget is unlimited
 // and reproduces Solve's historical behaviour exactly.
 func (o *Optimizer) SolveBudget(in *te.Input, budget *lp.Budget) (*Result, error) {
+	res, _, err := o.solveBudget(in, budget, nil)
+	return res, err
+}
+
+// solveState carries a completed solve's reusable artifacts — the class
+// list and the full cut pool (structural + subproblem optimality cuts) —
+// out to the cross-epoch SolveCache.
+type solveState struct {
+	classes []Class
+	cuts    []bendersCut
+}
+
+// solveBudget is SolveBudget with a warm-start seam. warm, when non-nil, is
+// a pool of optimality cuts already remapped to this input's class order
+// (see SolveCache): the solve then skips structural-cut seeding (the warm
+// pool subsumes it), seeds the master with the full pool, and — because the
+// cuts are valid for the new problem — lifts the lower bound from the
+// initial master solve, so a quiet epoch converges in one or two Benders
+// iterations. With warm nil the behaviour is bit-identical to the historic
+// SolveBudget, which the warm-cache invariant tests pin.
+func (o *Optimizer) solveBudget(in *te.Input, budget *lp.Budget, warm []bendersCut) (*Result, *solveState, error) {
 	if err := in.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if in.Scenarios == nil || len(in.Scenarios.Scenarios) == 0 {
-		return nil, fmt.Errorf("core: no failure scenarios")
+		return nil, nil, fmt.Errorf("core: no failure scenarios")
 	}
 	if budget == nil {
 		// Unlimited, but still account work units uniformly.
@@ -284,7 +305,7 @@ func (o *Optimizer) SolveBudget(in *te.Input, budget *lp.Budget) (*Result, error
 	}
 	for f, mass := range perFlowMass {
 		if mass < in.Beta-1e-12 {
-			return nil, fmt.Errorf("core: flow %d has only %.6f scenario mass for beta %.6f; widen the scenario cutoff", f, mass, in.Beta)
+			return nil, nil, fmt.Errorf("core: flow %d has only %.6f scenario mass for beta %.6f; widen the scenario cutoff", f, mass, in.Beta)
 		}
 	}
 
@@ -294,9 +315,13 @@ func (o *Optimizer) SolveBudget(in *te.Input, budget *lp.Budget) (*Result, error
 	// which classes force loss (in particular, disconnected classes force
 	// Phi = 1). These are valid optimality cuts — l_{f,c} >= minLoss_c
 	// holds for every allocation — and they spare Benders one iteration
-	// per hopeless class.
+	// per hopeless class. A warm start supersedes the seeding: the cached
+	// pool already contains the previous epoch's structural cuts (demand
+	// and capacity inputs are fingerprint-pinned, so they are still valid).
 	var cuts []bendersCut
-	if !o.DisableStructuralCuts {
+	if warm != nil {
+		cuts = append(cuts, warm...)
+	} else if !o.DisableStructuralCuts {
 		// Each class's bound is independent of the others, so the bottleneck
 		// scans fan out; cut assembly stays in class order.
 		minLoss := par.Map(len(classes), o.Parallelism, func(ci int) float64 {
@@ -319,13 +344,22 @@ func (o *Optimizer) SolveBudget(in *te.Input, budget *lp.Budget) (*Result, error
 	for i := range delta {
 		delta[i] = true
 	}
+	lb, ub := 0.0, 1.0
 	if len(cuts) > 0 {
-		d, _, err := o.solveMaster(in, classes, cuts, m, budget)
+		d, masterPhi, err := o.solveMaster(in, classes, cuts, m, budget)
 		if err == nil {
 			delta = d
+			if warm != nil && masterPhi > lb {
+				// Every warm cut is a valid optimality cut for this input, so
+				// the seeded master's optimum already lower-bounds Phi — the
+				// step that lets a quiet epoch converge on its first
+				// subproblem. (Cold structural cuts would justify this too,
+				// but the historic path leaves lb at 0; changing it would
+				// perturb bit-compatibility for no convergence gain.)
+				lb = masterPhi
+			}
 		}
 	}
-	lb, ub := 0.0, 1.0
 	var bestAlloc te.Allocation
 	var bestPhi float64
 	var bestDelta []bool
@@ -347,7 +381,7 @@ func (o *Optimizer) SolveBudget(in *te.Input, budget *lp.Budget) (*Result, error
 				truncated = true
 				break
 			}
-			return nil, fmt.Errorf("core: subproblem iter %d: %w", iters, err)
+			return nil, nil, fmt.Errorf("core: subproblem iter %d: %w", iters, err)
 		}
 		if sp.phi <= ub {
 			if bestAlloc == nil {
@@ -371,7 +405,7 @@ func (o *Optimizer) SolveBudget(in *te.Input, budget *lp.Budget) (*Result, error
 				truncated = true
 				break
 			}
-			return nil, fmt.Errorf("core: master iter %d: %w", iters, err)
+			return nil, nil, fmt.Errorf("core: master iter %d: %w", iters, err)
 		}
 		if masterPhi > lb {
 			lb = masterPhi
@@ -386,7 +420,7 @@ func (o *Optimizer) SolveBudget(in *te.Input, budget *lp.Budget) (*Result, error
 	fallback := false
 	if bestAlloc == nil {
 		if !truncated {
-			return nil, fmt.Errorf("core: no feasible subproblem solution")
+			return nil, nil, fmt.Errorf("core: no feasible subproblem solution")
 		}
 		// Rung three of the degradation ladder: the budget expired before any
 		// feasible incumbent existed, so hand back the proportional heuristic
@@ -428,7 +462,7 @@ func (o *Optimizer) SolveBudget(in *te.Input, budget *lp.Budget) (*Result, error
 		Iterations: iters, LB: lb, UB: ub, Selected: bestDelta,
 		Truncated: truncated, Fallback: fallback,
 		WorkUnits: workUnits, FirstIncumbentUnits: firstIncumbentUnits,
-	}, nil
+	}, &solveState{classes: classes, cuts: cuts}, nil
 }
 
 // polish maximizes total satisfied demand fraction subject to the

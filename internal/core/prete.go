@@ -115,6 +115,19 @@ type EpochPlan struct {
 //  4. solve the unified optimization (Eqns. 2-8) over pre-established and
 //     new tunnels with Benders decomposition.
 func (p *PreTE) PlanEpoch(in EpochInput) (*EpochPlan, error) {
+	return p.planEpoch(in, nil)
+}
+
+// PlanEpochCached is PlanEpoch with cross-epoch solve reuse: the optimize
+// step goes through Optimizer.SolveCached against cache, so quiet epochs
+// (unchanged calibrated probabilities) return the cached plan and
+// probability-only drift warm-starts Benders from the previous cut pool. A
+// nil cache is exactly PlanEpoch.
+func (p *PreTE) PlanEpochCached(in EpochInput, cache *SolveCache) (*EpochPlan, error) {
+	return p.planEpoch(in, cache)
+}
+
+func (p *PreTE) planEpoch(in EpochInput, cache *SolveCache) (*EpochPlan, error) {
 	if len(in.PI) != len(in.Net.Fibers) {
 		return nil, fmt.Errorf("core: %d static probabilities for %d fibers", len(in.PI), len(in.Net.Fibers))
 	}
@@ -175,7 +188,12 @@ func (p *PreTE) PlanEpoch(in EpochInput) (*EpochPlan, error) {
 	}
 	optT := reg.Timer("core.epoch.optimize")
 	optStart := optT.Start()
-	res, err := p.Opt.Solve(teIn)
+	var res *Result
+	if cache != nil {
+		res, err = p.Opt.SolveCached(teIn, cache)
+	} else {
+		res, err = p.Opt.Solve(teIn)
+	}
 	optT.Stop(optStart)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestIncrementalExperiment runs the quick incremental sweep and checks the
+// invariants it is meant to demonstrate: the quiet row serves repeat epochs
+// as cache hits, probability drift revalidates instead of evicting,
+// structural change evicts, every objective gap is within the optimizer's
+// tolerance, and the whole table — deterministic work units only — is
+// byte-identical across parallelism settings.
+func TestIncrementalExperiment(t *testing.T) {
+	run := func(parallelism int) string {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := Run("incremental", &buf, Options{Seed: 2025, Quick: true, Parallelism: parallelism}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := run(1)
+	rows := map[string][]string{} // "drift/cache" -> columns
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "==") || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "drift") {
+			continue
+		}
+		cols := strings.Split(line, "\t")
+		if len(cols) != 11 {
+			t.Fatalf("row has %d columns, want 11: %v", len(cols), cols)
+		}
+		rows[cols[0]+"/"+cols[1]] = cols
+	}
+	if len(rows) != 6 { // quick mode: {0, 1e-4, structural} x {off, on}
+		t.Fatalf("incremental quick sweep printed %d rows, want 6:\n%s", len(rows), out)
+	}
+	num := func(row []string, i int) float64 {
+		t.Helper()
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			t.Fatalf("column %d of %v: %v", i, row, err)
+		}
+		return v
+	}
+	// Quiet epochs: every re-solve is a hit, and the cached sequence does
+	// strictly less optimizer work than the cold one.
+	quiet := rows["0/on"]
+	if hits := num(quiet, 4); hits != 2 {
+		t.Errorf("quiet row hits = %v, want 2", hits)
+	}
+	if num(quiet, 9) >= num(rows["0/off"], 9) {
+		t.Errorf("quiet cached work %v not below cold %v", quiet[9], rows["0/off"][9])
+	}
+	// Probability drift: revalidations, no evictions.
+	drift := rows["1e-4/on"]
+	if reval := num(drift, 5); reval != 2 {
+		t.Errorf("drift row revalidations = %v, want 2", reval)
+	}
+	if evict := num(drift, 6); evict != 0 {
+		t.Errorf("drift row evictions = %v, want 0", evict)
+	}
+	if cuts := num(drift, 7); cuts <= 0 {
+		t.Errorf("drift row reused no cuts: %v", cuts)
+	}
+	// Structural change: evictions, no reuse.
+	structural := rows["structural/on"]
+	if evict := num(structural, 6); evict != 2 {
+		t.Errorf("structural row evictions = %v, want 2", evict)
+	}
+	if hits := num(structural, 4); hits != 0 {
+		t.Errorf("structural row hits = %v, want 0", hits)
+	}
+	// Warm starts move work, never answers.
+	for key, row := range rows {
+		if gap := num(row, 10); gap > 1e-6 {
+			t.Errorf("row %s: phi_gap %v exceeds tolerance", key, gap)
+		}
+	}
+	// Deterministic work units only: byte-identical at any parallelism.
+	for _, p := range []int{2, 8} {
+		if got := run(p); got != out {
+			t.Fatalf("incremental output differs between parallelism 1 and %d", p)
+		}
+	}
+}

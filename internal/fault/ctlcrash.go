@@ -20,10 +20,12 @@ type Halt struct {
 	Attempt int64 // 1-based global RPC attempt number that hit the halt
 }
 
+// Error implements error.
 func (e *Halt) Error() string {
 	return fmt.Sprintf("fault: controller halted at %s (attempt %d)", e.Peer, e.Attempt)
 }
 
+// Unwrap makes every Halt match wan.ErrControllerHalted with errors.Is.
 func (e *Halt) Unwrap() error { return wan.ErrControllerHalted }
 
 // CtlCrash wraps a wan.Transport and kills the controller process at a

@@ -54,6 +54,7 @@ const (
 	Crash
 )
 
+// String names the fault kind for logs and metrics.
 func (k Kind) String() string {
 	switch k {
 	case None:
@@ -136,6 +137,7 @@ type Injected struct {
 	Peer string
 }
 
+// Error implements error.
 func (e *Injected) Error() string {
 	return fmt.Sprintf("fault: injected %s at %s", e.Kind, e.Peer)
 }

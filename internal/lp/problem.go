@@ -22,6 +22,7 @@ const (
 	EQ           // ==
 )
 
+// String renders the comparison operator as its source form.
 func (o Op) String() string {
 	switch o {
 	case LE:
@@ -143,6 +144,7 @@ const (
 // were optimal.
 const StatusIterLimit = IterationLimit
 
+// String names the solve status.
 func (s Status) String() string {
 	switch s {
 	case Optimal:

@@ -29,6 +29,7 @@ const (
 	Cut
 )
 
+// String names the fiber state.
 func (s State) String() string {
 	switch s {
 	case Healthy:

@@ -69,6 +69,7 @@ type LockError struct {
 	Dir string
 }
 
+// Error implements error.
 func (e *LockError) Error() string {
 	return fmt.Sprintf("persist: state dir %s is locked by another store", e.Dir)
 }

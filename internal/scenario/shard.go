@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"prete/internal/par"
+	"prete/internal/topology"
+)
+
+// EnumerateSharded is Enumerate with the double-failure sweep — the O(n²)
+// pair loop that dominates enumeration cost on large topologies —
+// partitioned into shards and fanned across par workers. The output is
+// bit-identical to Enumerate at every (shards, parallelism) combination:
+//
+//   - Shards are contiguous ranges of the outer pair index i, so each pair
+//     (i, j) belongs to exactly one shard and shards never overlap.
+//   - Each shard appends its scenarios in the serial loop's (i, j) order;
+//     shard outputs are concatenated in shard order, reproducing the serial
+//     append order exactly.
+//   - The probability sort is stable, so equal-probability scenarios keep
+//     that order; the cap, empty-scenario pin, and Covered sum then operate
+//     on an identical slice.
+//
+// Shard boundaries are balanced by pair count (shard s covers roughly
+// 1/shards of the n·(n-1)/2 pairs, its work-unit quota), not by outer-index
+// count — early rows own nearly n pairs, late rows almost none. shards <= 1
+// (and parallelism <= 1 with one shard) is the serial path Enumerate takes.
+func EnumerateSharded(probs []float64, opts Options, shards, parallelism int) (*Set, error) {
+	for i, p := range probs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("scenario: fiber %d has invalid probability %v", i, p)
+		}
+	}
+	if opts.MaxFailures < 1 {
+		opts.MaxFailures = 1
+	}
+	if opts.MaxScenarios < 1 {
+		opts.MaxScenarios = 1
+	}
+	n := len(probs)
+	// Per-scenario probability computed directly as
+	// prod_{i in cut} p_i * prod_{i not in cut} (1 - p_i). The direct
+	// product (rather than dividing (1-p_i) factors out of the all-up
+	// probability) stays exact when some p_i is 0 or 1 — PreTE's
+	// evaluation conditions on "this fiber will certainly cut" (p = 1).
+	scenProb := func(cut ...int) float64 {
+		inCut := func(i int) bool {
+			for _, c := range cut {
+				if c == i {
+					return true
+				}
+			}
+			return false
+		}
+		p := 1.0
+		for i, pi := range probs {
+			if inCut(i) {
+				p *= pi
+			} else {
+				p *= 1 - pi
+			}
+		}
+		return p
+	}
+	var out []Scenario
+	out = append(out, Scenario{Prob: scenProb()})
+	// single failures
+	for i := 0; i < n; i++ {
+		p := scenProb(i)
+		if p >= opts.Cutoff && p > 0 {
+			out = append(out, Scenario{Cut: []topology.FiberID{topology.FiberID(i)}, Prob: p})
+		}
+	}
+	// double failures, sharded over the outer index
+	if opts.MaxFailures >= 2 && n >= 2 {
+		doubles := func(lo, hi int) []Scenario {
+			var part []Scenario
+			for i := lo; i < hi; i++ {
+				if probs[i] <= 0 {
+					continue
+				}
+				for j := i + 1; j < n; j++ {
+					p := scenProb(i, j)
+					if p >= opts.Cutoff && p > 0 {
+						part = append(part, Scenario{
+							Cut:  []topology.FiberID{topology.FiberID(i), topology.FiberID(j)},
+							Prob: p,
+						})
+					}
+				}
+			}
+			return part
+		}
+		bounds := shardBounds(n, shards)
+		if len(bounds) == 2 {
+			out = append(out, doubles(bounds[0], bounds[1])...)
+		} else {
+			parts := par.Map(len(bounds)-1, parallelism, func(s int) []Scenario {
+				return doubles(bounds[s], bounds[s+1])
+			})
+			for _, part := range parts {
+				out = append(out, part...)
+			}
+		}
+	}
+	// triples and beyond are omitted: their mass is far below any cutoff
+	// that keeps the optimization tractable, mirroring the paper's cutoff
+	// selection.
+	return finishSet(out, opts), nil
+}
+
+// shardBounds splits the outer pair index range [0, n-1) into at most
+// `shards` contiguous ranges balanced by pair count: row i contributes
+// n-1-i pairs, so boundaries advance until each shard holds roughly
+// total/shards pairs. Returns len(ranges)+1 boundary values; bounds[s] to
+// bounds[s+1] is shard s's half-open row range. Degenerate inputs collapse
+// to a single shard.
+func shardBounds(n, shards int) []int {
+	rows := n - 1 // rows with at least one pair: i in [0, n-1)
+	if rows < 1 {
+		return []int{0, 0}
+	}
+	if shards > rows {
+		shards = rows
+	}
+	if shards <= 1 {
+		return []int{0, rows}
+	}
+	total := rows * (rows + 1) / 2 // sum over i of (n-1-i)
+	quota := float64(total) / float64(shards)
+	bounds := []int{0}
+	acc := 0
+	for i := 0; i < rows; i++ {
+		acc += rows - i // pairs in row i
+		if float64(acc) >= quota*float64(len(bounds)) && len(bounds) < shards {
+			bounds = append(bounds, i+1)
+		}
+	}
+	return append(bounds, rows)
+}
+
+// finishSet applies the tail of enumeration shared by the serial and
+// sharded paths: stable probability sort, MaxScenarios cap, pinning the
+// empty scenario past the cap, and the Covered sum.
+func finishSet(out []Scenario, opts Options) *Set {
+	sortScenarios(out)
+	if len(out) > opts.MaxScenarios {
+		out = out[:opts.MaxScenarios]
+	}
+	// The empty scenario must always survive the cap.
+	if len(out[0].Cut) != 0 {
+		for i := range out {
+			if len(out[i].Cut) == 0 {
+				out[0], out[i] = out[i], out[0]
+				break
+			}
+		}
+	}
+	set := &Set{Scenarios: out}
+	for _, s := range out {
+		set.Covered += s.Prob
+	}
+	return set
+}

@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEnumerateShardedEquivalence pins the sharding determinism contract:
+// the merged set is bit-identical to the serial enumeration at every shard
+// count and parallelism level, including shard counts exceeding the row
+// count and inputs with zero-probability rows (which the doubles loop
+// skips, making row weights uneven).
+func TestEnumerateShardedEquivalence(t *testing.T) {
+	opts := Options{Cutoff: 1e-10, MaxFailures: 2, MaxScenarios: 120}
+	inputs := [][]float64{
+		testProbs(16, 11),
+		testProbs(5, 12),
+		{0.02},                      // no pairs at all
+		{},                          // empty network
+		{0, 0.03, 0, 0.01, 0.04, 0}, // zero rows skipped by the doubles loop
+	}
+	for ii, probs := range inputs {
+		want := mustEnumerate(t, probs, opts)
+		for _, shards := range []int{1, 2, 3, 8, 64} {
+			for _, p := range []int{1, 4} {
+				got, err := EnumerateSharded(probs, opts, shards, p)
+				if err != nil {
+					t.Fatalf("input %d shards=%d p=%d: %v", ii, shards, p, err)
+				}
+				if !reflect.DeepEqual(got.Scenarios, want.Scenarios) {
+					t.Fatalf("input %d shards=%d p=%d: scenarios differ from serial", ii, shards, p)
+				}
+				if got.Covered != want.Covered {
+					t.Fatalf("input %d shards=%d p=%d: Covered %v != %v (not bit-identical)",
+						ii, shards, p, got.Covered, want.Covered)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateShardedInvalidProb(t *testing.T) {
+	if _, err := EnumerateSharded([]float64{0.1, 1.5}, DefaultOptions(), 4, 2); err == nil {
+		t.Fatalf("invalid probability accepted")
+	}
+}
+
+// TestShardBounds checks the partition is a proper cover: contiguous,
+// non-overlapping, spanning exactly [0, n-1).
+func TestShardBounds(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 30, 101} {
+		for _, shards := range []int{1, 2, 5, 16, 200} {
+			b := shardBounds(n, shards)
+			if len(b) < 2 {
+				t.Fatalf("n=%d shards=%d: too few bounds %v", n, shards, b)
+			}
+			if b[0] != 0 {
+				t.Fatalf("n=%d shards=%d: bounds start at %d", n, shards, b[0])
+			}
+			rows := n - 1
+			if rows < 0 {
+				rows = 0
+			}
+			if b[len(b)-1] != rows {
+				t.Fatalf("n=%d shards=%d: bounds end at %d, want %d", n, shards, b[len(b)-1], rows)
+			}
+			for i := 1; i < len(b); i++ {
+				if b[i] < b[i-1] {
+					t.Fatalf("n=%d shards=%d: bounds not monotone: %v", n, shards, b)
+				}
+			}
+			if len(b)-1 > shards {
+				t.Fatalf("n=%d shards=%d: produced %d shards", n, shards, len(b)-1)
+			}
+		}
+	}
+}

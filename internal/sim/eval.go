@@ -52,6 +52,15 @@ type Evaluator struct {
 	recomputeCache map[string]*te.Plan // Flexile post-failure plans
 	oracleCache    map[string]*te.Plan // oracle per-cut plans
 	restoreCache   map[string]*te.Plan // ARROW post-restoration plans
+	// enumCache memoizes scenario enumeration by input fingerprint
+	// (probability vector + Cfg.ScenarioOpts). Enumerate is a pure
+	// deterministic function of exactly those inputs, so the cached set is
+	// interchangeable with a fresh one — and every degradation scenario,
+	// every world branch, and every cell of a sweep that lands on the same
+	// probabilities (e.g. the quiet-epoch vector, identical across all of
+	// ExpFig13's grid cells for a given env) reuses one enumeration
+	// instead of paying the O(fibers²) pair sweep again.
+	enumCache map[scenario.Fingerprint]*scenario.Set
 }
 
 // NewEvaluator builds an evaluator with the NN-quality predictor.
@@ -61,7 +70,98 @@ func NewEvaluator(env *Env, cfg Config) *Evaluator {
 		recomputeCache: make(map[string]*te.Plan),
 		oracleCache:    make(map[string]*te.Plan),
 		restoreCache:   make(map[string]*te.Plan),
+		enumCache:      make(map[scenario.Fingerprint]*scenario.Set),
 	}
+}
+
+// enumerate returns the scenario set for probs under Cfg.ScenarioOpts,
+// memoized through enumCache. Sets are shared read-only; concurrent workers
+// may duplicate a miss, in which case the first store wins and the racing
+// results are identical anyway (Enumerate is deterministic).
+func (ev *Evaluator) enumerate(probs []float64) (*scenario.Set, error) {
+	m := ev.metrics()
+	fp := scenario.FingerprintProbs(probs, ev.Cfg.ScenarioOpts)
+	ev.mu.Lock()
+	set, ok := ev.enumCache[fp]
+	ev.mu.Unlock()
+	if ok {
+		m.enumHits.Inc()
+		return set, nil
+	}
+	m.enumMisses.Inc()
+	set, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
+	if err != nil {
+		return nil, err
+	}
+	ev.mu.Lock()
+	if prev, ok := ev.enumCache[fp]; ok {
+		set = prev
+	} else {
+		ev.enumCache[fp] = set
+	}
+	ev.mu.Unlock()
+	return set, nil
+}
+
+// integrateScenarios reduces one degradation-scenario task's evaluation
+// matrix: contrib fills row (length nFlows, zeroed) with failure scenario
+// q's per-flow contribution, and the rows are summed in scenario order.
+// With Cfg.ScenarioShards > 1 the contrib calls are partitioned into
+// contiguous scenario shards — each shard's work-unit quota is its slice of
+// the scenario count, quotas never truncate work — and fanned across par
+// workers; the reduction stays serial in scenario order either way, so the
+// result is bit-identical at every shard count and parallelism level.
+func (ev *Evaluator) integrateScenarios(fs *scenario.Set, nFlows int, contrib func(q scenario.Scenario, row []float64) error) ([]float64, error) {
+	n := len(fs.Scenarios)
+	out := make([]float64, nFlows)
+	shards := ev.Cfg.ScenarioShards
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		// Historical single-pass path: one reusable row, accumulated as
+		// each scenario is evaluated.
+		row := make([]float64, nFlows)
+		for _, q := range fs.Scenarios {
+			for i := range row {
+				row[i] = 0
+			}
+			if err := contrib(q, row); err != nil {
+				return nil, err
+			}
+			for i, v := range row {
+				out[i] += v
+			}
+		}
+		return out, nil
+	}
+	ev.metrics().shardBatches.Inc()
+	// Sharded path: per-scenario rows computed by shard workers (quota =
+	// contiguous ceil(n/shards) slice each), reduced serially afterwards.
+	rows := make([][]float64, n)
+	quota := (n + shards - 1) / shards
+	if _, err := par.MapErr(shards, ev.Cfg.Parallelism, func(s int) (struct{}, error) {
+		lo, hi := s*quota, (s+1)*quota
+		if hi > n {
+			hi = n
+		}
+		for qi := lo; qi < hi; qi++ {
+			row := make([]float64, nFlows)
+			if err := contrib(fs.Scenarios[qi], row); err != nil {
+				return struct{}{}, err
+			}
+			rows[qi] = row
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	return out, nil
 }
 
 // Evaluate measures availability for a named scheme at a demand scale.
@@ -101,7 +201,7 @@ func (ev *Evaluator) EvaluatePreTERatio(scale, ratio float64) (Availability, err
 
 // staticPlan computes the single pre-failure plan of a static scheme.
 func (ev *Evaluator) staticPlan(schemeName string, demands te.Demands) (*te.Plan, error) {
-	set, err := scenario.Enumerate(scenario.Static(ev.Env.PI), ev.Cfg.ScenarioOpts)
+	set, err := ev.enumerate(scenario.Static(ev.Env.PI))
 	if err != nil {
 		return nil, err
 	}
@@ -146,6 +246,9 @@ type evalObs struct {
 	evalTime     *obs.Timer   // wall time per degradation-scenario task
 	cacheHits    *obs.Counter
 	cacheMisses  *obs.Counter
+	enumHits     *obs.Counter // scenario enumerations served from the memo
+	enumMisses   *obs.Counter // scenario enumerations actually run
+	shardBatches *obs.Counter // integration passes that ran sharded
 }
 
 func (ev *Evaluator) metrics() evalObs {
@@ -156,6 +259,9 @@ func (ev *Evaluator) metrics() evalObs {
 		evalTime:     r.Timer("sim.scenario.eval_time"),
 		cacheHits:    r.Counter("sim.plan_cache.hits"),
 		cacheMisses:  r.Counter("sim.plan_cache.misses"),
+		enumHits:     r.Counter("sim.enum_cache.hits"),
+		enumMisses:   r.Counter("sim.enum_cache.misses"),
+		shardBatches: r.Counter("sim.scenario_shards.batches"),
 	}
 }
 
@@ -177,21 +283,20 @@ func (ev *Evaluator) evaluateStatic(schemeName string, planned, truth te.Demands
 		defer m.degScenarios.Inc()
 		ds := dss[di]
 		probs := ev.Env.TruthProbs(ev.Cfg, ds.Fiber)
-		fs, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
+		fs, err := ev.enumerate(probs)
 		if err != nil {
 			return nil, err
 		}
 		m.scenarios.Add(int64(len(fs.Scenarios)))
-		part := make([]float64, nFlows)
-		for _, q := range fs.Scenarios {
-			cut := q.CutSet()
-			for fi := range part {
-				credit := ev.credit(schemeName, plan, planned, truth, routing.FlowID(fi), cut)
-				part[fi] += ds.Prob * q.Prob * credit
-			}
-		}
 		// the un-enumerated failure tail counts as loss for every flow
-		return part, nil
+		return ev.integrateScenarios(fs, nFlows, func(q scenario.Scenario, row []float64) error {
+			cut := q.CutSet()
+			for fi := range row {
+				credit := ev.credit(schemeName, plan, planned, truth, routing.FlowID(fi), cut)
+				row[fi] += ds.Prob * q.Prob * credit
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		return Availability{}, err
@@ -342,25 +447,24 @@ func (ev *Evaluator) evaluateOracle(planned, truth te.Demands) (Availability, er
 		defer m.degScenarios.Inc()
 		ds := dss[di]
 		probs := ev.Env.TruthProbs(ev.Cfg, ds.Fiber)
-		fs, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
+		fs, err := ev.enumerate(probs)
 		if err != nil {
 			return nil, err
 		}
 		m.scenarios.Add(int64(len(fs.Scenarios)))
-		part := make([]float64, nFlows)
-		for _, q := range fs.Scenarios {
+		return ev.integrateScenarios(fs, nFlows, func(q scenario.Scenario, row []float64) error {
 			cut := q.CutSet()
 			plan, err := ev.oraclePlan(planned, q.Cut)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			for fi := range part {
+			for fi := range row {
 				if te.Satisfied(plan, routing.FlowID(fi), truth[fi], cut) {
-					part[fi] += ds.Prob * q.Prob
+					row[fi] += ds.Prob * q.Prob
 				}
 			}
-		}
-		return part, nil
+			return nil
+		})
 	})
 	if err != nil {
 		return Availability{}, err
@@ -511,19 +615,18 @@ func (ev *Evaluator) accumulate(branchProb float64, truth te.Demands, plan *te.P
 	} else if degFiber >= 0 {
 		probs[degFiber] = 0 // benign world: this episode does not cut
 	}
-	fs, err := scenario.Enumerate(probs, ev.Cfg.ScenarioOpts)
+	fs, err := ev.enumerate(probs)
 	if err != nil {
 		return nil, err
 	}
 	ev.metrics().scenarios.Add(int64(len(fs.Scenarios)))
-	perFlow := make([]float64, len(ev.Env.Tunnels.Flows))
-	for _, q := range fs.Scenarios {
+	return ev.integrateScenarios(fs, len(ev.Env.Tunnels.Flows), func(q scenario.Scenario, row []float64) error {
 		cut := q.CutSet()
-		for fi := range perFlow {
+		for fi := range row {
 			if te.Satisfied(plan, routing.FlowID(fi), truth[fi], cut) {
-				perFlow[fi] += branchProb * q.Prob
+				row[fi] += branchProb * q.Prob
 			}
 		}
-	}
-	return perFlow, nil
+		return nil
+	})
 }

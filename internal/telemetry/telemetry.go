@@ -23,6 +23,7 @@ const (
 	Repaired
 )
 
+// String names the detector event type.
 func (e EventType) String() string {
 	switch e {
 	case DegradationStart:

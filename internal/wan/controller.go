@@ -9,6 +9,7 @@ import (
 
 	"prete/internal/obs"
 	"prete/internal/persist"
+	"prete/internal/scenario"
 	"prete/internal/stats"
 )
 
@@ -118,6 +119,9 @@ type Controller struct {
 	peerSeq   map[string]uint64  // per-agent RPC sequence numbers
 	installed map[string]TunnelInstall
 	lastProbs []float64 // probability vector of the last journaled epoch
+	// lastFP is the scenario-set fingerprint of the last journaled (or
+	// recovered) epoch; 0 when none was recorded.
+	lastFP scenario.Fingerprint
 }
 
 // NewController dials the given agents (name -> address) over TCP.

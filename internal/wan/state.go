@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"prete/internal/persist"
+	"prete/internal/scenario"
 )
 
 // EpochState is the controller state journaled after every successful TE
@@ -30,6 +31,13 @@ type EpochState struct {
 	// Probs is the most recent calibrated per-fiber failure probability
 	// vector (Eqn. 1 output) the scenario set was built from.
 	Probs []float64 `json:"probs,omitempty"`
+	// ScenarioFP is the scenario.Set fingerprint of the epoch's enumerated
+	// failure-scenario set (0 when the journaling caller did not supply
+	// one). On warm restart the testbed re-enumerates from Probs and checks
+	// the rebuilt set against this fingerprint before priming the solver's
+	// warm-start cache — a mismatch means enumeration options or code
+	// drifted across the restart and the cache must start cold.
+	ScenarioFP uint64 `json:"scenario_fp,omitempty"`
 }
 
 // encode marshals the state deterministically.
@@ -121,6 +129,7 @@ func (c *Controller) OpenState(dir string) (*Recovery, error) {
 		c.epoch = s.Epoch
 		c.lastRates = copyRates(s.Rates)
 		c.lastProbs = append([]float64(nil), s.Probs...)
+		c.lastFP = scenario.Fingerprint(s.ScenarioFP)
 		c.peerSeq = make(map[string]uint64, len(s.PeerSeq))
 		for k, v := range s.PeerSeq {
 			c.peerSeq[k] = v
@@ -173,6 +182,14 @@ func (c *Controller) LastProbs() []float64 {
 	return append([]float64(nil), c.lastProbs...)
 }
 
+// LastScenarioFP returns the scenario-set fingerprint of the most recent
+// journaled (or recovered) epoch, 0 if none was recorded.
+func (c *Controller) LastScenarioFP() scenario.Fingerprint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastFP
+}
+
 // InstalledTunnels returns the tracked installed tunnel set, sorted by
 // (switch, tunnel id).
 func (c *Controller) InstalledTunnels() []TunnelInstall {
@@ -196,13 +213,14 @@ func (c *Controller) installedLocked() []TunnelInstall {
 }
 
 // JournalEpoch records the completion of one successful TE epoch: the
-// last-good rates, the installed tunnel set, per-peer RPC sequences, and
-// the calibrated probability vector, fsynced into the journal before the
+// last-good rates, the installed tunnel set, per-peer RPC sequences, the
+// calibrated probability vector, and the fingerprint of the scenario set
+// solved (0 when the caller has none), fsynced into the journal before the
 // call returns, compacting into a snapshot on the store's cadence. A nil
 // store makes it a no-op — journaling is a write-only side channel, and
 // with StateDir unset the controller behaves byte-identically to one
 // without persistence compiled in.
-func (c *Controller) JournalEpoch(probs []float64) error {
+func (c *Controller) JournalEpoch(probs []float64, fp scenario.Fingerprint) error {
 	c.mu.Lock()
 	if c.store == nil {
 		c.mu.Unlock()
@@ -210,12 +228,14 @@ func (c *Controller) JournalEpoch(probs []float64) error {
 	}
 	c.epoch++
 	c.lastProbs = append([]float64(nil), probs...)
+	c.lastFP = fp
 	state := &EpochState{
-		Epoch:   c.epoch,
-		Rates:   copyRates(c.lastRates),
-		Tunnels: c.installedLocked(),
-		PeerSeq: make(map[string]uint64, len(c.peerSeq)),
-		Probs:   append([]float64(nil), probs...),
+		Epoch:      c.epoch,
+		Rates:      copyRates(c.lastRates),
+		Tunnels:    c.installedLocked(),
+		PeerSeq:    make(map[string]uint64, len(c.peerSeq)),
+		Probs:      append([]float64(nil), probs...),
+		ScenarioFP: uint64(fp),
 	}
 	for k, v := range c.peerSeq {
 		state.PeerSeq[k] = v

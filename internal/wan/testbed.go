@@ -70,6 +70,13 @@ type Testbed struct {
 	// TE solve (the -budget UNITS:TIMEOUT CLI form). It overrides the
 	// TEPeriod derivation.
 	SolveTimeout time.Duration
+
+	// opt and solveCache are the persistent TE solver and its cross-epoch
+	// warm-start cache (lazily built by solver): successive reaction rounds
+	// reuse Benders cuts across epochs, and OpenState primes the cache on a
+	// warm restart from the journaled probability vector.
+	opt        *core.Optimizer
+	solveCache *core.SolveCache
 }
 
 // solveDeadline resolves the round's wall-clock solve ceiling: an explicit
@@ -79,6 +86,31 @@ func (tb *Testbed) solveDeadline() time.Duration {
 		return tb.SolveTimeout
 	}
 	return SolveDeadline(tb.TEPeriod)
+}
+
+// solver returns the testbed's persistent optimizer and warm-start cache,
+// building them on first use and refreshing the budget knobs (which the
+// caller may have changed between rounds). Keeping one optimizer + cache
+// alive across reaction rounds is what lets a quiet epoch re-solve reuse
+// the previous epoch's Benders cuts instead of starting cold.
+func (tb *Testbed) solver() (*core.Optimizer, *core.SolveCache) {
+	if tb.opt == nil {
+		tb.opt = core.DefaultOptimizer()
+		tb.solveCache = &core.SolveCache{}
+	}
+	tb.opt.BudgetUnits = tb.SolveUnits
+	tb.opt.SolveTimeout = tb.solveDeadline()
+	tb.opt.Metrics = tb.Ctl.Metrics
+	return tb.opt, tb.solveCache
+}
+
+// SolveCacheStats reports the warm-start cache counters of the testbed's
+// persistent solver (zero-valued before the first solve).
+func (tb *Testbed) SolveCacheStats() core.CacheStats {
+	if tb.solveCache == nil {
+		return core.CacheStats{}
+	}
+	return tb.solveCache.Stats()
 }
 
 // NewTestbed builds the triangle testbed with the given switch latencies
@@ -241,16 +273,17 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 	// round's compute budget: the TE period is a hard deadline, so a solve
 	// that cannot finish degrades to a truncated incumbent or the heuristic
 	// plan — rung three of the ladder — rather than blowing the period.
+	// The solve goes through the testbed's persistent warm-start cache:
+	// quiet epochs (unchanged scenario set and input) return the cached
+	// plan, probability-only drift re-solves from the previous cut pool.
 	t0 = time.Now()
 	tb.Ctl.Log.Addf("stage te-compute")
-	opt := core.DefaultOptimizer()
-	opt.BudgetUnits = tb.SolveUnits
-	opt.SolveTimeout = tb.solveDeadline()
-	res, err := opt.Solve(&te.Input{
+	opt, cache := tb.solver()
+	res, err := opt.SolveCached(&te.Input{
 		Net: tb.Net, Tunnels: planTunnels,
 		Demands:   te.Demands{50, 50},
 		Scenarios: set, Beta: 0.99,
-	})
+	}, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -285,10 +318,12 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 	timing.RateInstall = time.Since(t0)
 
 	// The epoch completed (possibly degraded, but with a consistent plan
-	// installed): journal it so a warm restart resumes from here. A nil
-	// store (no -state-dir) makes this a no-op, and journaling is a
-	// write-only side channel — it never changes the installed plan.
-	if err := tb.Ctl.JournalEpoch(probs); err != nil {
+	// installed): journal it — including the scenario-set fingerprint, so
+	// the next incarnation can warm-start the solver — and a warm restart
+	// resumes from here. A nil store (no -state-dir) makes this a no-op,
+	// and journaling is a write-only side channel — it never changes the
+	// installed plan.
+	if err := tb.Ctl.JournalEpoch(probs, set.Fingerprint()); err != nil {
 		return nil, fmt.Errorf("wan: epoch completed but not journaled: %w", err)
 	}
 	return &timing, nil
@@ -297,9 +332,12 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 // OpenState attaches a crash-safe state store under dir to the testbed's
 // controller and, on a warm start, re-asserts the recovered last-good rate
 // table fleet-wide — the agents of a restarted controller may themselves
-// have restarted, so recovery pushes the plan instead of assuming it. The
-// returned Recovery reports what was found; rec.Warm == false is a cold
-// start (the ladder begins empty, exactly as without a state directory).
+// have restarted, so recovery pushes the plan instead of assuming it —
+// then primes the persistent solver's warm-start cache from the journaled
+// probability vector, so the first post-restart reaction round warm-starts
+// instead of solving cold. The returned Recovery reports what was found;
+// rec.Warm == false is a cold start (the ladder begins empty, exactly as
+// without a state directory).
 func (tb *Testbed) OpenState(dir string) (*Recovery, error) {
 	rec, err := tb.Ctl.OpenState(dir)
 	if err != nil {
@@ -311,8 +349,55 @@ func (tb *Testbed) OpenState(dir string) (*Recovery, error) {
 				return rec, fmt.Errorf("wan: re-assert recovered rates: %w", err)
 			}
 		}
+		tb.primeSolver()
 	}
 	return rec, nil
+}
+
+// primeSolver rebuilds the last journaled epoch's TE input — the same
+// deterministic pipeline the reaction round runs: Algorithm 1 on the base
+// tunnel set, then scenario enumeration from the recovered calibrated
+// probabilities — checks the rebuilt scenario set against the journaled
+// fingerprint, and solves it once into the warm-start cache. Priming is
+// best-effort and write-only: any failure (fingerprint mismatch, solver
+// error) leaves the cache cold, which only costs the next round a cold
+// solve. A fingerprint mismatch means enumeration options or code changed
+// across the restart; the stale plan must not be trusted, so the cache is
+// left cold and the mismatch is counted.
+func (tb *Testbed) primeSolver() {
+	probs := tb.Ctl.LastProbs()
+	if len(probs) == 0 {
+		return
+	}
+	set, err := scenario.Enumerate(probs, scenario.DefaultOptions())
+	if err != nil {
+		tb.Ctl.Log.Addf("warmstart enumerate failed")
+		return
+	}
+	if want := tb.Ctl.LastScenarioFP(); want != 0 {
+		if got := set.Fingerprint(); got != want {
+			tb.Ctl.Metrics.Counter("wan.recovery.scenario_fp_mismatch").Inc()
+			tb.Ctl.Log.Addf("warmstart fingerprint mismatch")
+			return
+		}
+		tb.Ctl.Metrics.Counter("wan.recovery.scenario_fp_match").Inc()
+	}
+	upd, err := core.UpdateTunnels(tb.Tunnels, 0, 1)
+	if err != nil {
+		return
+	}
+	opt, cache := tb.solver()
+	in := &te.Input{
+		Net: tb.Net, Tunnels: upd.Tunnels,
+		Demands:   te.Demands{50, 50},
+		Scenarios: set, Beta: 0.99,
+	}
+	if err := opt.Prime(in, cache); err != nil {
+		tb.Ctl.Log.Addf("warmstart prime failed")
+		return
+	}
+	tb.Ctl.Metrics.Counter("wan.warmstart.primed").Inc()
+	tb.Ctl.Log.Addf("warmstart primed")
 }
 
 // RestartController simulates a controller process restart: the old
@@ -342,6 +427,11 @@ func (tb *Testbed) RestartController(tr Transport) error {
 		ctl.StateCompactEvery = old.StateCompactEvery
 	}
 	tb.Ctl = ctl
+	// A real restart loses the in-memory solver state too; the warm-start
+	// cache comes back, if at all, through OpenState's journal-driven
+	// priming.
+	tb.opt = nil
+	tb.solveCache = nil
 	return nil
 }
 
