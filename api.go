@@ -2,6 +2,7 @@ package prete
 
 import (
 	"prete/internal/core"
+	"prete/internal/ingest"
 	"prete/internal/ml"
 	"prete/internal/obs"
 	"prete/internal/optical"
@@ -73,6 +74,17 @@ type (
 	Trace = trace.Trace
 	// LabeledExample is one (features, failed) training sample.
 	LabeledExample = trace.LabeledExample
+
+	// IngestConfig tunes the streaming telemetry pipeline behind
+	// System.OpenStream: shard count, ring capacity, watermark, drain
+	// budget, and flush window (see internal/ingest).
+	IngestConfig = ingest.Config
+	// IngestArrival is one (fiber, sample) pair arriving on a stream.
+	IngestArrival = ingest.Arrival
+	// IngestStats is the pipeline's exact drop/merge accounting snapshot.
+	IngestStats = ingest.Stats
+	// IngestFiberEvents is one fiber's events from a stream flush.
+	IngestFiberEvents = ingest.FiberEvents
 
 	// MetricsRegistry is the observability registry (internal/obs): a
 	// concurrency-safe set of counters, gauges, histograms, and stage timers
@@ -160,3 +172,7 @@ func NewDetector(confirm int) *telemetry.Detector { return telemetry.NewDetector
 // Config.Metrics (or sim.Config.Metrics, wan.Controller.Metrics, ...) to
 // collect counters and stage timings; results are unaffected.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultIngestConfig returns the streaming-ingest defaults (4 shards,
+// 1024-sample rings, 0.75 watermark, flush every tick).
+func DefaultIngestConfig() IngestConfig { return ingest.DefaultConfig() }

@@ -1,0 +1,217 @@
+package prete
+
+// Streaming-ingest benchmarks on B4 scale (19 fibers at one sample per
+// second each). BenchmarkIngestSustained drives the internal/ingest
+// pipeline tick by tick and reports sustained throughput (samples/s) plus
+// the p99 per-tick ingest latency. BenchmarkIngestEpochReplay is the
+// honest "equivalent ProcessBatch replay" baseline: a batch pipeline has
+// no detector state between calls, so replaying at production rate means
+// re-processing the accumulated epoch window on every tick (a growing
+// window, epoch length E below). TestIngestSustainedSpeedup pins the
+// acceptance criterion: the streaming path sustains at least 10x the
+// baseline's effective sample rate, with buffering bounded by the ring
+// capacity at all times.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"prete/internal/ingest"
+	"prete/internal/optical"
+	"prete/internal/stats"
+	"prete/internal/telemetry"
+	"prete/internal/topology"
+)
+
+// ingestEpochTicks is the TE-period epoch length (seconds at 1 Hz) both
+// the streaming run and the replay baseline cover.
+const ingestEpochTicks = 120
+
+// b4IngestSeries synthesizes one epoch of per-second telemetry for every
+// B4 fiber: degradation episodes with missing samples, a third of them
+// leading to cuts — the same shapes the batch benchmarks use.
+func b4IngestSeries(tb testing.TB, ticks int) (*topology.Network, []telemetry.FiberSeries) {
+	tb.Helper()
+	net, err := topology.B4()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	series := make([]telemetry.FiberSeries, len(net.Fibers))
+	for i := range net.Fibers {
+		rng := stats.SubRNG(11, uint64(i))
+		fsim := optical.NewFiberSim(net.Fibers[i].LengthKm, rng)
+		samples, err := fsim.EpisodeSeries(optical.DegradationProfile{
+			DegreeDB: 4 + 4*rng.Float64(), GradientDB: 0.05,
+			FluctAmpDB: 0.3, FluctPeriodS: 20,
+			DurationS: ticks / 2, LeadsToCut: i%3 == 0, CutDelayS: ticks / 3, RepairS: 20,
+			OnsetUnixS: 1700000000 + int64(i)*13, MissingSample: 0.05,
+		}, ticks/4)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if len(samples) > ticks {
+			samples = samples[:ticks]
+		}
+		series[i] = telemetry.FiberSeries{Fiber: i, Samples: samples}
+	}
+	return net, series
+}
+
+// runIngestEpoch replays one epoch through a fresh pipeline — one sample
+// per fiber per tick — and returns the total samples fed, the per-tick
+// latencies, and the final stats.
+func runIngestEpoch(tb testing.TB, net *topology.Network, series []telemetry.FiberSeries, cfg ingest.Config, latencies []time.Duration) (int, []time.Duration, ingest.Stats) {
+	tb.Helper()
+	p, err := ingest.New(net, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fed := 0
+	arrivals := make([]ingest.Arrival, 0, len(series))
+	for tick := 0; ; tick++ {
+		arrivals = arrivals[:0]
+		for _, fs := range series {
+			if tick < len(fs.Samples) {
+				arrivals = append(arrivals, ingest.Arrival{Fiber: fs.Fiber, Sample: fs.Samples[tick]})
+			}
+		}
+		if len(arrivals) == 0 {
+			break
+		}
+		fed += len(arrivals)
+		t0 := time.Now()
+		if _, err := p.Tick(arrivals); err != nil {
+			tb.Fatal(err)
+		}
+		latencies = append(latencies, time.Since(t0))
+		if st := p.Stats(); st.Queued > int64(len(series)*cfg.RingCapacity) {
+			tb.Fatalf("buffering exceeded the ring bound: %d queued > %d fibers x %d capacity",
+				st.Queued, len(series), cfg.RingCapacity)
+		}
+	}
+	if _, err := p.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return fed, latencies, p.Stats()
+}
+
+// BenchmarkIngestSustained measures sustained streaming ingest on B4 at
+// several shard counts, reporting samples/s and the p99 per-tick latency.
+func BenchmarkIngestSustained(b *testing.B) {
+	net, series := b4IngestSeries(b, ingestEpochTicks)
+	for _, shards := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			cfg := ingest.DefaultConfig()
+			cfg.Shards = shards
+			b.ReportAllocs()
+			var lat []time.Duration
+			total := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fed, l, _ := runIngestEpoch(b, net, series, cfg, lat[:0])
+				lat, total = l, total+fed
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/s")
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			if len(lat) > 0 {
+				b.ReportMetric(float64(lat[len(lat)*99/100])/1e3, "p99-us/tick")
+			}
+		})
+	}
+}
+
+// epochReplayBaseline runs the equivalent batch replay once: at every tick
+// the accumulated window is re-processed through ProcessBatch (a fresh
+// batch call holds no detector state, so this is what replaying the stream
+// through the batch API at production rate costs). Returns the number of
+// unique samples delivered — the same count the streaming run feeds.
+func epochReplayBaseline(tb testing.TB, net *topology.Network, series []telemetry.FiberSeries) int {
+	tb.Helper()
+	fed := 0
+	window := make([]telemetry.FiberSeries, len(series))
+	for i, fs := range series {
+		window[i] = telemetry.FiberSeries{Fiber: fs.Fiber}
+	}
+	for tick := 0; ; tick++ {
+		grew := false
+		for i, fs := range series {
+			if tick < len(fs.Samples) {
+				window[i].Samples = fs.Samples[:tick+1]
+				fed++
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+		if _, err := telemetry.ProcessBatch(net, window, 2, 1); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return fed
+}
+
+// BenchmarkIngestEpochReplay is the baseline BenchmarkIngestSustained is
+// judged against: per-tick ProcessBatch over the growing epoch window.
+// samples/s counts unique samples delivered, not re-parses, so the two
+// benchmarks' throughput numbers are directly comparable.
+func BenchmarkIngestEpochReplay(b *testing.B) {
+	net, series := b4IngestSeries(b, ingestEpochTicks)
+	b.ReportAllocs()
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total += epochReplayBaseline(b, net, series)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// TestIngestSustainedSpeedup pins the PR's acceptance criterion: on
+// B4-scale input the streaming pipeline sustains at least 10x the
+// equivalent ProcessBatch replay rate, with in-flight buffering bounded by
+// the ring capacity (checked inside runIngestEpoch on every tick).
+func TestIngestSustainedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive throughput comparison")
+	}
+	// Two epochs of input: the baseline's re-parse cost grows quadratically
+	// with the window, so a longer run both reflects sustained operation and
+	// keeps the measured ratio out of timer noise.
+	net, series := b4IngestSeries(t, 2*ingestEpochTicks)
+	// 19 fibers is far below the scale where shard fan-out pays for its
+	// goroutine handoffs, so measure the serial configuration — the
+	// determinism contract makes its output identical to any other.
+	cfg := ingest.DefaultConfig()
+	cfg.Shards = 1
+	cfg.Parallelism = 1
+	best := func(run func() int) float64 {
+		run() // warm-up: heap growth and cache fills stay out of the timings
+		rate := 0.0
+		for rep := 0; rep < 5; rep++ {
+			t0 := time.Now()
+			fed := run()
+			if r := float64(fed) / time.Since(t0).Seconds(); r > rate {
+				rate = r
+			}
+		}
+		return rate
+	}
+	streamRate := best(func() int {
+		fed, _, st := runIngestEpoch(t, net, series, cfg, nil)
+		if st.Dropped != 0 || st.Merged != 0 {
+			t.Fatalf("benchmark schedule triggered backpressure: %+v", st)
+		}
+		return fed
+	})
+	replayRate := best(func() int { return epochReplayBaseline(t, net, series) })
+	if streamRate < 10*replayRate {
+		t.Fatalf("streaming ingest sustains %.0f samples/s, want >= 10x the %.0f samples/s replay baseline",
+			streamRate, replayRate)
+	}
+	t.Logf("streaming %.0f samples/s vs replay %.0f samples/s (%.1fx)", streamRate, replayRate, streamRate/replayRate)
+}

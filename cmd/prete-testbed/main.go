@@ -28,6 +28,7 @@ import (
 
 	"prete/internal/core"
 	"prete/internal/fault"
+	"prete/internal/ingest"
 	"prete/internal/obs"
 	"prete/internal/optical"
 	"prete/internal/par"
@@ -36,13 +37,15 @@ import (
 
 func main() {
 	var (
-		fast      = flag.Bool("fast", false, "millisecond-scale switch latencies")
-		seed      = flag.Uint64("seed", 2025, "random seed")
-		metrics   = flag.Bool("metrics", false, "print a JSON metrics snapshot after the run")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
-		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'seed=7,drop=0.1,delay=0.5:10ms-50ms,crash=0.01:25' (empty = no faults)")
-		budget    = flag.String("budget", "", "TE solve budget 'UNITS[:TIMEOUT]', e.g. '5000', '5000:150ms', ':2s' (empty = unlimited); units are deterministic, the timeout is a wall-clock safety net")
-		stateDir  = flag.String("state-dir", "", "directory for crash-safe controller state (journaled snapshots); restarting with the same directory warm-restarts from the last journaled epoch (empty = stateless)")
+		fast         = flag.Bool("fast", false, "millisecond-scale switch latencies")
+		seed         = flag.Uint64("seed", 2025, "random seed")
+		metrics      = flag.Bool("metrics", false, "print a JSON metrics snapshot after the run")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
+		faults       = flag.String("faults", "", "fault-injection spec, e.g. 'seed=7,drop=0.1,delay=0.5:10ms-50ms,crash=0.01:25' (empty = no faults)")
+		budget       = flag.String("budget", "", "TE solve budget 'UNITS[:TIMEOUT]', e.g. '5000', '5000:150ms', ':2s' (empty = unlimited); units are deterministic, the timeout is a wall-clock safety net")
+		stateDir     = flag.String("state-dir", "", "directory for crash-safe controller state (journaled snapshots); restarting with the same directory warm-restarts from the last journaled epoch (empty = stateless)")
+		ingestRate   = flag.Int("ingest-rate", 0, "feed the VOA script through the streaming ingest pipeline at this many samples per tick (0 = classic batch detector path)")
+		ingestShards = flag.Int("ingest-shards", 0, "ingest worker shard count when -ingest-rate is set (0 = default)")
 	)
 	flag.Parse()
 
@@ -121,10 +124,22 @@ func main() {
 		}
 	}
 
-	timing, err := tb.RunScenario(*seed)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "prete-testbed: %v\n", err)
-		os.Exit(1)
+	var timing *wan.PipelineTiming
+	if *ingestRate > 0 {
+		var st ingest.Stats
+		timing, st, err = tb.RunScenarioStream(*seed, *ingestShards, *ingestRate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("streaming ingest: %d samples/tick, %d ingested = %d emitted + %d dropped + %d merged + %d queued (%d watermark crossings)\n",
+			*ingestRate, st.Ingested, st.Emitted, st.Dropped, st.Merged, st.Queued, st.WatermarkCrossings)
+	} else {
+		timing, err = tb.RunScenario(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("PreTE reaction pipeline (Fig 11a):")
 	fmt.Printf("  detection        %8.2f ms\n", ms(timing.Detection))

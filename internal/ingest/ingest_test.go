@@ -1,0 +1,390 @@
+package ingest
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"prete/internal/obs"
+	"prete/internal/optical"
+	"prete/internal/stats"
+	"prete/internal/telemetry"
+	"prete/internal/topology"
+)
+
+// testSeries synthesizes one degradation episode per fiber with per-fiber
+// shapes and missing samples, the same fixture shape the telemetry batch
+// tests use, so interpolation and feature extraction are on the tested path.
+func testSeries(t *testing.T, net *topology.Network, seed uint64) []telemetry.FiberSeries {
+	t.Helper()
+	series := make([]telemetry.FiberSeries, len(net.Fibers))
+	for i := range net.Fibers {
+		rng := stats.SubRNG(seed, uint64(i))
+		sim := optical.NewFiberSim(net.Fibers[i].LengthKm, rng)
+		prof := optical.DegradationProfile{
+			DegreeDB:      4 + 4*rng.Float64(),
+			GradientDB:    0.05,
+			FluctAmpDB:    0.3,
+			FluctPeriodS:  20,
+			DurationS:     90,
+			LeadsToCut:    i%3 == 0,
+			CutDelayS:     70,
+			RepairS:       25,
+			OnsetUnixS:    1700000000 + int64(i)*7,
+			MissingSample: 0.06,
+		}
+		samples, err := sim.EpisodeSeries(prof, 25)
+		if err != nil {
+			t.Fatalf("fiber %d: %v", i, err)
+		}
+		series[i] = telemetry.FiberSeries{Fiber: i, Samples: samples}
+	}
+	return series
+}
+
+// TestReplayMatchesProcessBatch pins the tentpole contract: with
+// backpressure never triggered, the streaming pipeline's output equals the
+// batch replay byte for byte — across shard counts, parallelism settings,
+// and flush windows.
+func TestReplayMatchesProcessBatch(t *testing.T) {
+	net, err := topology.ByName("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := testSeries(t, net, 11)
+	want, err := telemetry.ProcessBatch(net, series, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events int
+	for _, evs := range want {
+		events += len(evs)
+	}
+	if events == 0 {
+		t.Fatal("degenerate fixture: batch replay produced no events")
+	}
+	for _, shards := range []int{1, 2, 4, 7, 32} {
+		for _, parallelism := range []int{1, 0} {
+			for _, flushTicks := range []int{1, 16, 1000000} {
+				cfg := DefaultConfig()
+				cfg.Shards = shards
+				cfg.Parallelism = parallelism
+				cfg.FlushTicks = flushTicks
+				cfg.RingCapacity = 4 // tiny ring, but unlimited drain keeps it empty
+				p, err := New(net, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := p.RunReplay(series)
+				if err != nil {
+					t.Fatalf("shards=%d p=%d flush=%d: %v", shards, parallelism, flushTicks, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d p=%d flush=%d: stream output diverges from ProcessBatch", shards, parallelism, flushTicks)
+				}
+				st := p.Stats()
+				if st.Dropped != 0 || st.Merged != 0 {
+					t.Fatalf("shards=%d p=%d flush=%d: unexpected backpressure: %+v", shards, parallelism, flushTicks, st)
+				}
+				if st.Queued != 0 {
+					t.Fatalf("shards=%d p=%d flush=%d: %d samples still queued after Flush", shards, parallelism, flushTicks, st.Queued)
+				}
+				if st.Ingested != st.Emitted {
+					t.Fatalf("shards=%d p=%d flush=%d: ingested %d != emitted %d without shedding", shards, parallelism, flushTicks, st.Ingested, st.Emitted)
+				}
+			}
+		}
+	}
+}
+
+// overloadReplay runs the series through a deliberately starved pipeline
+// (tiny rings, one-sample drain) and returns the pipeline for inspection.
+func overloadReplay(t *testing.T, net *topology.Network, series []telemetry.FiberSeries, shards int) *Pipeline {
+	t.Helper()
+	cfg := Config{
+		Shards:         shards,
+		RingCapacity:   8,
+		HighWatermark:  0.5,
+		DrainPerTick:   1, // each shard's compute is one sample per tick: ingest outruns it
+		FlushTicks:     4,
+		ConfirmSamples: 2,
+		Parallelism:    1,
+	}
+	p, err := New(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunReplay(series); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestOverloadAccountingExact is the fault-injected overload test of the
+// acceptance criteria: with compute budgeted far below the arrival rate,
+// load is shed, and the accounting identity holds exactly —
+// ingested = emitted + dropped + merged — with nothing left queued.
+func TestOverloadAccountingExact(t *testing.T) {
+	net, err := topology.ByName("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := testSeries(t, net, 23)
+	p := overloadReplay(t, net, series, 3)
+	st := p.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("overload produced no drops")
+	}
+	if st.Merged == 0 {
+		t.Fatal("overload produced no merges")
+	}
+	if st.WatermarkCrossings == 0 {
+		t.Fatal("overload crossed no watermarks")
+	}
+	if st.Queued != 0 {
+		t.Fatalf("%d samples still queued after final Flush", st.Queued)
+	}
+	if st.Ingested != st.Emitted+st.Dropped+st.Merged {
+		t.Fatalf("accounting leak: ingested %d != emitted %d + dropped %d + merged %d",
+			st.Ingested, st.Emitted, st.Dropped, st.Merged)
+	}
+	var perDrop, perMerge int64
+	for i := range st.PerFiberDropped {
+		perDrop += st.PerFiberDropped[i]
+		perMerge += st.PerFiberMerged[i]
+	}
+	if perDrop != st.Dropped || perMerge != st.Merged {
+		t.Fatalf("per-fiber lineage (%d dropped, %d merged) disagrees with totals (%d, %d)",
+			perDrop, perMerge, st.Dropped, st.Merged)
+	}
+}
+
+// TestOverloadDeterministicReplay pins that drop/merge decisions are
+// bit-identical across runs for a fixed schedule, configuration, and shard
+// count — shed load replays exactly, including its per-fiber lineage and
+// the emitted events.
+func TestOverloadDeterministicReplay(t *testing.T) {
+	net, err := topology.ByName("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := testSeries(t, net, 29)
+	run := func() (Stats, [][]telemetry.FiberEvent) {
+		cfg := Config{
+			Shards: 3, RingCapacity: 8, HighWatermark: 0.5,
+			DrainPerTick: 2, FlushTicks: 4, ConfirmSamples: 2,
+		}
+		p, err := New(net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.RunReplay(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Stats(), out
+	}
+	st1, out1 := run()
+	st2, out2 := run()
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("shed-load accounting diverged across identical runs:\n%+v\n%+v", st1, st2)
+	}
+	if !reflect.DeepEqual(out1, out2) {
+		t.Fatal("emitted events diverged across identical runs")
+	}
+	if st1.Dropped == 0 && st1.Merged == 0 {
+		t.Fatal("fixture never triggered backpressure")
+	}
+}
+
+// TestMergePreservesTransitions pins the merge policy's core invariant:
+// only consecutive same-state present samples coalesce, so a buffered state
+// transition is never merged away — under total overload the detector still
+// sees the healthy→degraded edge.
+func TestMergePreservesTransitions(t *testing.T) {
+	net, err := topology.ByName("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Shards: 1, RingCapacity: 4, HighWatermark: 0.25,
+		DrainPerTick: 1, FlushTicks: 1, ConfirmSamples: 1, Parallelism: 1,
+	}
+	p, err := New(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(t0 int64, excess float64) optical.Sample {
+		return optical.Sample{UnixS: t0, TxDBm: 3, RxDBm: 3 - 20 - excess, LossDB: 20 + excess, ExcessDB: excess, State: optical.Classify(excess)}
+	}
+	// One tick floods fiber 0 far past its ring: a healthy run, a degraded
+	// run, and a cut run. Merging compresses each run; the edges survive.
+	var arrivals []Arrival
+	ts := int64(1000)
+	for i := 0; i < 20; i++ {
+		arrivals = append(arrivals, Arrival{Fiber: 0, Sample: mk(ts, 0)})
+		ts++
+	}
+	for i := 0; i < 20; i++ {
+		arrivals = append(arrivals, Arrival{Fiber: 0, Sample: mk(ts, 5)})
+		ts++
+	}
+	for i := 0; i < 20; i++ {
+		arrivals = append(arrivals, Arrival{Fiber: 0, Sample: mk(ts, 30)})
+		ts++
+	}
+	if _, err := p.Tick(arrivals); err != nil {
+		t.Fatal(err)
+	}
+	batches, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []telemetry.EventType
+	for _, b := range batches {
+		for _, ev := range b.Events {
+			types = append(types, ev.Type)
+		}
+	}
+	want := []telemetry.EventType{telemetry.DegradationStart, telemetry.CutDetected}
+	if !reflect.DeepEqual(types, want) {
+		t.Fatalf("got event types %v, want %v", types, want)
+	}
+	st := p.Stats()
+	if st.Merged == 0 {
+		t.Fatal("flood produced no merges")
+	}
+	if st.Ingested != st.Emitted+st.Dropped+st.Merged {
+		t.Fatalf("accounting leak: %+v", st)
+	}
+}
+
+// TestMetricsMirrorStats pins that the ingest.* observability series agree
+// exactly with the Stats snapshot — shed load is auditable from the
+// registry alone — and that attaching a registry does not change results.
+func TestMetricsMirrorStats(t *testing.T) {
+	net, err := topology.ByName("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := testSeries(t, net, 31)
+	bare := overloadReplay(t, net, series, 2)
+
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Shards: 2, RingCapacity: 8, HighWatermark: 0.5,
+		DrainPerTick: 1, FlushTicks: 4, ConfirmSamples: 2,
+		Parallelism: 1, Metrics: reg,
+	}
+	p, err := New(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.RunReplay(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if !reflect.DeepEqual(st, bare.Stats()) {
+		t.Fatal("attaching a metrics registry changed the pipeline's behaviour")
+	}
+	for name, want := range map[string]int64{
+		"ingest.samples.ingested":    st.Ingested,
+		"ingest.samples.emitted":     st.Emitted,
+		"ingest.samples.dropped":     st.Dropped,
+		"ingest.samples.merged":      st.Merged,
+		"ingest.watermark.crossings": st.WatermarkCrossings,
+		"ingest.ticks":               st.Ticks,
+		"ingest.flushes":             st.Flushes,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	var nEvents int64
+	for _, evs := range out {
+		nEvents += int64(len(evs))
+	}
+	if got := reg.Counter("ingest.events.emitted").Value(); got != nEvents {
+		t.Errorf("ingest.events.emitted = %d, want %d", got, nEvents)
+	}
+	// Per-shard queue-depth gauges exist and read zero after the final Flush.
+	for si := 0; si < cfg.Shards; si++ {
+		if got := reg.Gauge(fmt.Sprintf("ingest.shard.%d.depth", si)).Value(); got != 0 {
+			t.Errorf("shard %d depth gauge = %v after Flush, want 0", si, got)
+		}
+	}
+}
+
+// TestShardOfStable pins the fiber→shard map: stable across calls, in
+// range, and non-degenerate (more than one shard actually used).
+func TestShardOfStable(t *testing.T) {
+	used := map[int]bool{}
+	for f := 0; f < 64; f++ {
+		s := ShardOf(f, 4)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ShardOf(%d, 4) = %d out of range", f, s)
+		}
+		if s != ShardOf(f, 4) {
+			t.Fatalf("ShardOf(%d, 4) unstable", f)
+		}
+		used[s] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("hash degenerates to %d shard(s)", len(used))
+	}
+	if ShardOf(7, 1) != 0 || ShardOf(7, 0) != 0 {
+		t.Fatal("single-shard map must be identically zero")
+	}
+}
+
+// TestTickValidation pins the error paths: out-of-range fibers are rejected
+// before any admission side effect, and duplicate fibers in a replay are
+// rejected like System.ObserveBatch rejects them.
+func TestTickValidation(t *testing.T) {
+	net, err := topology.ByName("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(net, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Tick([]Arrival{{Fiber: len(net.Fibers)}}); err == nil {
+		t.Fatal("out-of-range fiber accepted")
+	}
+	if p.Stats().Ingested != 0 {
+		t.Fatal("rejected tick left accounting side effects")
+	}
+	if _, err := p.RunReplay([]telemetry.FiberSeries{{Fiber: 0}, {Fiber: 0}}); err == nil {
+		t.Fatal("duplicate fiber accepted in replay")
+	}
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}
+
+func TestConfigDefaultsResolved(t *testing.T) {
+	net, err := topology.ByName("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An all-zero config resolves every knob to its documented default.
+	p, err := New(net, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Config()
+	want := Config{Shards: 1, RingCapacity: 1024, HighWatermark: 0.75, FlushTicks: 1, ConfirmSamples: 1}
+	if got != want {
+		t.Fatalf("resolved config = %+v, want %+v", got, want)
+	}
+	// Out-of-range watermarks snap back to the default too.
+	p, err = New(net, Config{HighWatermark: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config().HighWatermark != 0.75 {
+		t.Fatalf("watermark = %v, want 0.75", p.Config().HighWatermark)
+	}
+}

@@ -47,6 +47,9 @@ func (d *Detector) ObserveSeries(samples []optical.Sample) []Event {
 // detector, and results are returned in input order, so the output is
 // identical at every parallelism setting (see internal/par).
 //
+// Each fiber may appear at most once per batch (its detector is owned by
+// one task) — the same contract System.ObserveBatch enforces.
+//
 // The returned slice is parallel to series: out[i] holds fiber i's events.
 func ProcessBatch(net *topology.Network, series []FiberSeries, confirmSamples, parallelism int) ([][]FiberEvent, error) {
 	return ProcessBatchObs(net, series, confirmSamples, parallelism, nil)
@@ -57,10 +60,15 @@ func ProcessBatch(net *topology.Network, series []FiberSeries, confirmSamples, p
 // and — through each per-fiber detector — the telemetry.samples/events
 // counters. A nil registry is the uninstrumented ProcessBatch.
 func ProcessBatchObs(net *topology.Network, series []FiberSeries, confirmSamples, parallelism int, reg *obs.Registry) ([][]FiberEvent, error) {
+	seen := make(map[int]bool, len(series))
 	for _, fs := range series {
 		if fs.Fiber < 0 || fs.Fiber >= len(net.Fibers) {
 			return nil, fmt.Errorf("telemetry: fiber %d out of range [0,%d)", fs.Fiber, len(net.Fibers))
 		}
+		if seen[fs.Fiber] {
+			return nil, fmt.Errorf("telemetry: fiber %d appears twice in batch", fs.Fiber)
+		}
+		seen[fs.Fiber] = true
 	}
 	reg.Counter("telemetry.batch.runs").Inc()
 	reg.Counter("telemetry.batch.fibers").Add(int64(len(series)))
@@ -68,6 +76,7 @@ func ProcessBatchObs(net *topology.Network, series []FiberSeries, confirmSamples
 	batchStart := batchT.Start()
 	out, err := par.MapErr(len(series), parallelism, func(i int) ([]FiberEvent, error) {
 		fs := series[i]
+		f := net.Fiber(topology.FiberID(fs.Fiber))
 		det := NewDetector(confirmSamples)
 		det.SetMetrics(reg)
 		events := det.ObserveSeries(Interpolate(fs.Samples))
@@ -75,7 +84,6 @@ func ProcessBatchObs(net *topology.Network, series []FiberSeries, confirmSamples
 		for ei, ev := range events {
 			fe := FiberEvent{Event: ev}
 			if len(ev.Window) > 0 {
-				f := net.Fiber(topology.FiberID(fs.Fiber))
 				feats, err := optical.ExtractFeatures(ev.Window, fs.Fiber, f.Region, f.Vendor, f.LengthKm)
 				if err != nil {
 					return nil, fmt.Errorf("telemetry: fiber %d event %d: %w", fs.Fiber, ei, err)

@@ -128,3 +128,23 @@ func TestObserveSeriesMatchesPerSampleObserve(t *testing.T) {
 		t.Fatalf("ObserveSeries = %v, per-sample = %v", batch, single)
 	}
 }
+
+// TestProcessBatchRejectsDuplicateFiber pins the duplicate-fiber contract:
+// a fiber's detector is owned by one task, so a batch naming the same fiber
+// twice is rejected — the same rule System.ObserveBatch enforces (the
+// system-level parity half of this test lives in system_test.go).
+func TestProcessBatchRejectsDuplicateFiber(t *testing.T) {
+	net, err := topology.ByName("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := optical.NewFiberSim(100, stats.NewRNG(5))
+	samples := sim.HealthySeries(1700000000, 10)
+	_, err = ProcessBatch(net, []FiberSeries{
+		{Fiber: 3, Samples: samples},
+		{Fiber: 3, Samples: samples},
+	}, 2, 1)
+	if err == nil {
+		t.Fatal("duplicate fiber accepted")
+	}
+}

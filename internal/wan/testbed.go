@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"prete/internal/core"
+	"prete/internal/ingest"
 	"prete/internal/optical"
 	"prete/internal/routing"
 	"prete/internal/scenario"
@@ -209,6 +210,74 @@ func (tb *Testbed) RunScenario(seed uint64) (*PipelineTiming, error) {
 		}
 	}
 	return nil, fmt.Errorf("wan: the VOA script produced no degradation event")
+}
+
+// RunScenarioStream is RunScenario with the bare detector replaced by the
+// streaming ingest pipeline (internal/ingest): the VOA script's samples
+// arrive ratePerTick at a time on fiber 0, flow through the sharded rings,
+// and the controller reacts to the first flushed DegradationStart exactly
+// as the batch path does. shards <= 0 and ratePerTick <= 0 select the
+// defaults (4 shards, one sample per tick). The returned ingest.Stats
+// carries the pipeline's exact drop/merge accounting for the run; at
+// default capacities the script never crosses the watermark, so the timing
+// breakdown matches RunScenario's.
+func (tb *Testbed) RunScenarioStream(seed uint64, shards, ratePerTick int) (*PipelineTiming, ingest.Stats, error) {
+	fiberSim := optical.NewFiberSim(100, stats.NewRNG(seed))
+	samples := optical.TestbedScript().Replay(fiberSim, 0)
+	cfg := ingest.DefaultConfig()
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	cfg.ConfirmSamples = 2
+	cfg.Metrics = tb.Ctl.Metrics
+	pipe, err := ingest.New(tb.Net, cfg)
+	if err != nil {
+		return nil, ingest.Stats{}, err
+	}
+	if ratePerTick <= 0 {
+		ratePerTick = 1
+	}
+	react := func(batches []ingest.FiberEvents, detectStart time.Time) (*PipelineTiming, error) {
+		for _, b := range batches {
+			for _, fe := range b.Events {
+				if fe.Type != telemetry.DegradationStart {
+					continue
+				}
+				detection := time.Since(detectStart)
+				t, err := tb.reactToDegradation(fe.Event)
+				if err != nil {
+					return nil, err
+				}
+				t.Detection = detection
+				return t, nil
+			}
+		}
+		return nil, nil
+	}
+	for i := 0; i < len(samples); i += ratePerTick {
+		detectStart := time.Now()
+		end := min(i+ratePerTick, len(samples))
+		arrivals := make([]ingest.Arrival, 0, end-i)
+		for _, s := range samples[i:end] {
+			arrivals = append(arrivals, ingest.Arrival{Fiber: 0, Sample: s})
+		}
+		batches, err := pipe.Tick(arrivals)
+		if err != nil {
+			return nil, pipe.Stats(), err
+		}
+		if t, err := react(batches, detectStart); err != nil || t != nil {
+			return t, pipe.Stats(), err
+		}
+	}
+	detectStart := time.Now()
+	batches, err := pipe.Flush()
+	if err != nil {
+		return nil, pipe.Stats(), err
+	}
+	if t, err := react(batches, detectStart); err != nil || t != nil {
+		return t, pipe.Stats(), err
+	}
+	return nil, pipe.Stats(), fmt.Errorf("wan: the VOA script produced no degradation event")
 }
 
 // reactToDegradation runs inference -> Algorithm 1 -> scenario regeneration

@@ -306,3 +306,37 @@ func TestBackoffSchedule(t *testing.T) {
 		}
 	}
 }
+
+// TestRunScenarioStream pins the streaming reaction path to the batch one:
+// the ingest pipeline must surface the same degradation, the reaction
+// timing must be fully populated, and — with default ring capacities — the
+// VOA script must never trigger backpressure, at any shard count or
+// arrival rate.
+func TestRunScenarioStream(t *testing.T) {
+	checkGoroutineLeaks(t)
+	for _, tc := range []struct{ shards, rate int }{{0, 0}, {1, 1}, {3, 7}, {8, 50}} {
+		tb, err := NewTestbed(fastSwitch(), func(f optical.Features) float64 { return 0.8 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Ctl.Metrics = obs.NewRegistry()
+		timing, st, err := tb.RunScenarioStream(7, tc.shards, tc.rate)
+		if err != nil {
+			tb.Close()
+			t.Fatalf("shards=%d rate=%d: %v", tc.shards, tc.rate, err)
+		}
+		if timing.TunnelUpdate <= 0 || timing.TECompute <= 0 || timing.ScenarioRegen <= 0 {
+			t.Errorf("shards=%d rate=%d: missing stage timings: %+v", tc.shards, tc.rate, timing)
+		}
+		if st.Dropped != 0 || st.Merged != 0 {
+			t.Errorf("shards=%d rate=%d: VOA script triggered backpressure: %+v", tc.shards, tc.rate, st)
+		}
+		if st.Ingested == 0 || st.Ingested != st.Emitted+st.Queued {
+			t.Errorf("shards=%d rate=%d: accounting off: %+v", tc.shards, tc.rate, st)
+		}
+		if v := tb.Ctl.Metrics.Counter("ingest.samples.ingested").Value(); v != st.Ingested {
+			t.Errorf("shards=%d rate=%d: registry ingested = %d, stats = %d", tc.shards, tc.rate, v, st.Ingested)
+		}
+		tb.Close()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"prete/internal/core"
+	"prete/internal/ingest"
 	"prete/internal/obs"
 	"prete/internal/optical"
 	"prete/internal/par"
@@ -270,6 +271,89 @@ func (s *System) ObserveBatch(series []telemetry.FiberSeries) ([][]telemetry.Eve
 	}
 	reg.Counter("telemetry.batch.events").Add(nEvents)
 	return out, nil
+}
+
+// Stream is a live streaming-ingest session bound to a System: telemetry
+// arrivals flow through an internal/ingest pipeline (sharded rings,
+// watermark backpressure, windowed flush), and every flushed event updates
+// the system's degradation-signal state exactly as Observe would — the
+// predictor and conduit fan-out run serially in ascending fiber order, so
+// the resulting signal state is deterministic at every shard count and
+// parallelism setting. A Stream owns its fibers' detectors; do not mix it
+// with Observe/ObserveBatch calls for the same fibers.
+type Stream struct {
+	sys  *System
+	pipe *ingest.Pipeline
+}
+
+// OpenStream starts a streaming ingest session over the system's network.
+// The pipeline inherits the system's confirmation count, parallelism, and
+// metrics registry; the remaining knobs (shards, ring capacity, watermark,
+// drain budget, flush window) come from cfg.
+func (s *System) OpenStream(cfg ingest.Config) (*Stream, error) {
+	cfg.ConfirmSamples = s.cfg.ConfirmSamples
+	cfg.Parallelism = s.cfg.Parallelism
+	cfg.Metrics = s.cfg.Metrics
+	pipe, err := ingest.New(s.net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{sys: s, pipe: pipe}, nil
+}
+
+// Tick advances the stream by one logical tick (see ingest.Pipeline.Tick)
+// and applies any flushed events to the system's signal state. The flushed
+// batches are returned for callers that also want the raw events.
+func (st *Stream) Tick(arrivals []ingest.Arrival) ([]ingest.FiberEvents, error) {
+	batches, err := st.pipe.Tick(arrivals)
+	if err != nil {
+		return nil, err
+	}
+	st.apply(batches)
+	return batches, nil
+}
+
+// Flush ends the stream's current window unconditionally (see
+// ingest.Pipeline.Flush) and applies the remaining events.
+func (st *Stream) Flush() ([]ingest.FiberEvents, error) {
+	batches, err := st.pipe.Flush()
+	if err != nil {
+		return nil, err
+	}
+	st.apply(batches)
+	return batches, nil
+}
+
+// Stats snapshots the pipeline's exact drop/merge accounting.
+func (st *Stream) Stats() ingest.Stats { return st.pipe.Stats() }
+
+// apply replays flushed events onto the signal state under the system
+// lock, exactly as ObserveBatch's serial phase would.
+func (st *Stream) apply(batches []ingest.FiberEvents) {
+	if len(batches) == 0 {
+		return
+	}
+	s := st.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range batches {
+		for _, ev := range b.Events {
+			switch ev.Type {
+			case telemetry.DegradationStart:
+				pNN := 0.40 // the measured P(cut | degradation) fallback
+				if s.predictor != nil && ev.HasFeatures {
+					pNN = s.predictor.PredictProb(ev.Features)
+				}
+				for _, member := range s.conduits[FiberID(b.Fiber)] {
+					s.signals[member] = DegradationSignal{Fiber: member, PNN: pNN}
+				}
+			case telemetry.DegradationEnd, telemetry.Repaired:
+				for _, member := range s.conduits[FiberID(b.Fiber)] {
+					delete(s.signals, member)
+				}
+			}
+		}
+	}
 }
 
 // ActiveSignals returns the degradation signals currently in force.

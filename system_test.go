@@ -250,6 +250,114 @@ func TestObserveBatchMatchesObserve(t *testing.T) {
 	}
 }
 
+func TestStreamMatchesObserveBatch(t *testing.T) {
+	// The streaming path (OpenStream → Tick/Flush) must produce the same
+	// events and leave the same signal state as ObserveBatch over the same
+	// per-fiber series, at every shard count, as long as backpressure never
+	// triggers.
+	mk := func(excesses ...float64) []Sample {
+		out := make([]Sample, len(excesses))
+		for i, e := range excesses {
+			out[i] = degradedSample(int64(i+1), e)
+		}
+		return out
+	}
+	series := []telemetry.FiberSeries{
+		{Fiber: 0, Samples: mk(0, 5, 5, 5)},
+		{Fiber: 2, Samples: mk(6, 6)},
+		{Fiber: 3, Samples: mk(0, 0, 0)},
+		{Fiber: 4, Samples: mk(5, 5, 0, 0)},
+	}
+	ref := b4System(t)
+	ref.SetPredictor(constPredictor(0.66))
+	want, err := ref.ObserveBatch(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSigs := ref.ActiveSignals()
+	sort.Slice(wantSigs, func(a, b int) bool { return wantSigs[a].Fiber < wantSigs[b].Fiber })
+
+	for _, shards := range []int{1, 3, 8} {
+		sys := b4System(t)
+		sys.SetPredictor(constPredictor(0.66))
+		cfg := DefaultIngestConfig()
+		cfg.Shards = shards
+		st, err := sys.OpenStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One sample per fiber per tick, like a live collection interval.
+		// ObserveBatch leaves eventless rows nil, so rows here start nil too.
+		got := make([][]telemetry.Event, len(series))
+		byFiber := make(map[int]int, len(series))
+		for i, fs := range series {
+			byFiber[fs.Fiber] = i
+		}
+		collect := func(batches []IngestFiberEvents) {
+			for _, b := range batches {
+				for _, fe := range b.Events {
+					got[byFiber[b.Fiber]] = append(got[byFiber[b.Fiber]], fe.Event)
+				}
+			}
+		}
+		for tick := 0; ; tick++ {
+			var arrivals []IngestArrival
+			for _, fs := range series {
+				if tick < len(fs.Samples) {
+					arrivals = append(arrivals, IngestArrival{Fiber: fs.Fiber, Sample: fs.Samples[tick]})
+				}
+			}
+			if len(arrivals) == 0 {
+				break
+			}
+			batches, err := st.Tick(arrivals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			collect(batches)
+		}
+		batches, err := st.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect(batches)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards %d: stream events diverge from ObserveBatch:\ngot  %+v\nwant %+v", shards, got, want)
+		}
+		ss := st.Stats()
+		if ss.Dropped != 0 || ss.Merged != 0 {
+			t.Fatalf("shards %d: unexpected backpressure: %+v", shards, ss)
+		}
+		gotSigs := sys.ActiveSignals()
+		sort.Slice(gotSigs, func(a, b int) bool { return gotSigs[a].Fiber < gotSigs[b].Fiber })
+		if !reflect.DeepEqual(gotSigs, wantSigs) {
+			t.Fatalf("shards %d: signals = %+v, want %+v", shards, gotSigs, wantSigs)
+		}
+	}
+}
+
+func TestBatchEntryPointValidationParity(t *testing.T) {
+	// ProcessBatch and System.ObserveBatch must accept and reject the same
+	// inputs: both validate fiber range and duplicate fibers.
+	sys := b4System(t)
+	cases := []struct {
+		name   string
+		series []telemetry.FiberSeries
+	}{
+		{"valid", []telemetry.FiberSeries{{Fiber: 0}, {Fiber: 3}}},
+		{"out-of-range", []telemetry.FiberSeries{{Fiber: 99}}},
+		{"negative", []telemetry.FiberSeries{{Fiber: -1}}},
+		{"duplicate", []telemetry.FiberSeries{{Fiber: 1}, {Fiber: 2}, {Fiber: 1}}},
+	}
+	for _, tc := range cases {
+		_, errBatch := telemetry.ProcessBatch(sys.net, tc.series, 2, 1)
+		_, errSys := sys.ObserveBatch(tc.series)
+		if (errBatch == nil) != (errSys == nil) {
+			t.Errorf("%s: ProcessBatch err=%v but ObserveBatch err=%v", tc.name, errBatch, errSys)
+		}
+	}
+}
+
 func TestPublicHelpers(t *testing.T) {
 	net, err := LoadTopology("IBM")
 	if err != nil {
@@ -273,5 +381,12 @@ func TestPublicHelpers(t *testing.T) {
 	det := NewDetector(1)
 	if det == nil {
 		t.Fatal("nil detector")
+	}
+	if NewMetricsRegistry() == nil {
+		t.Fatal("nil registry")
+	}
+	// NewNetwork is the custom-topology entry: it must validate references.
+	if _, err := NewNetwork("x", []Node{{ID: 0, Name: "a"}}, []Fiber{{ID: 0, A: 0, B: 9}}, nil); err == nil {
+		t.Fatal("dangling fiber endpoint accepted")
 	}
 }
