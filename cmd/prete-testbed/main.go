@@ -10,6 +10,7 @@
 //	prete-testbed -fast -faults 'seed=7,drop=0.1,delay=1:50ms'  # chaos run
 //	prete-testbed -fast -budget 60          # anytime TE solve: 60 work units
 //	prete-testbed -budget 5000:150ms        # units + wall-clock safety net
+//	prete-testbed -fast -state-dir /tmp/st -replicas 3  # leader + 2 journal-tailing standbys
 //
 // The -faults spec injects deterministic controller<->agent RPC faults
 // (drop, delay, duplicate, corrupt, partition, crash); see internal/fault
@@ -46,8 +47,18 @@ func main() {
 		stateDir     = flag.String("state-dir", "", "directory for crash-safe controller state (journaled snapshots); restarting with the same directory warm-restarts from the last journaled epoch (empty = stateless)")
 		ingestRate   = flag.Int("ingest-rate", 0, "feed the VOA script through the streaming ingest pipeline at this many samples per tick (0 = classic batch detector path)")
 		ingestShards = flag.Int("ingest-shards", 0, "ingest worker shard count when -ingest-rate is set (0 = default)")
+		replicas     = flag.Int("replicas", 1, "controller incarnations: 1 = the classic single controller; N > 1 additionally runs N-1 hot standbys that tail the -state-dir journal and would promote on leader death (requires -state-dir)")
 	)
 	flag.Parse()
+
+	if *replicas < 1 {
+		fmt.Fprintln(os.Stderr, "prete-testbed: -replicas must be >= 1")
+		os.Exit(2)
+	}
+	if *replicas > 1 && *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "prete-testbed: -replicas > 1 requires -state-dir (standbys tail the shared journal)")
+		os.Exit(2)
+	}
 
 	faultSpec, err := fault.ParseSpec(*faults)
 	if err != nil {
@@ -124,6 +135,33 @@ func main() {
 		}
 	}
 
+	// Hot standbys: a lease endpoint for failure detection plus N-1 replicas
+	// tailing the shared journal. In a quiet run they are a read-only side
+	// channel — the leader's behaviour and state bytes are untouched.
+	var rs *wan.ReplicaSet
+	if *replicas > 1 {
+		lease, err := wan.NewLeaseServer(tb.Ctl.Generation)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: lease: %v\n", err)
+			os.Exit(1)
+		}
+		defer lease.Close()
+		agents := make(map[string]string, len(tb.Agents))
+		for _, a := range tb.Agents {
+			agents[a.Name] = a.Addr()
+		}
+		rs, err = wan.NewReplicaSet(*stateDir, lease.Addr(), agents, wan.ReplicaOptions{
+			Standbys: *replicas - 1,
+			Metrics:  reg,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: -replicas: %v\n", err)
+			os.Exit(1)
+		}
+		defer rs.Close()
+		fmt.Printf("controller replication: leader + %d hot standby(s) tailing %s\n", *replicas-1, *stateDir)
+	}
+
 	var timing *wan.PipelineTiming
 	if *ingestRate > 0 {
 		var st ingest.Stats
@@ -166,6 +204,21 @@ func main() {
 			fmt.Println("  plan: DEGRADED — last good plan kept where the fresh one could not be installed")
 		} else {
 			fmt.Println("  plan: fresh plan fully installed despite injected faults")
+		}
+	}
+
+	if rs != nil {
+		if _, err := rs.Tick(); err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: replica tick: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nStandby journal mirrors:")
+		for _, st := range rs.Status() {
+			warm := "cold"
+			if st.Epoch > 0 {
+				warm = fmt.Sprintf("warm @ epoch %d", st.Epoch)
+			}
+			fmt.Printf("  replica %d  %s (heartbeat misses: %d)\n", st.ID, warm, st.Misses)
 		}
 	}
 

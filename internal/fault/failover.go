@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file holds the storage-corruption half of the failover matrix: the
+// deterministic mutations a dead leader's state directory can suffer
+// between its last fsync and a standby's takeover. They operate on real
+// directories (the failover scenarios run controllers against the OS
+// filesystem, where flock arbitration is real) and are exact — no
+// randomness — so a corrupted-recovery trace replays bit-identically.
+//
+// The persist on-disk names are part of its documented layout (snap-<seq>,
+// journal-<base>-<gen>, both zero-padded hex, so lexicographic order is
+// numeric order); the helpers match on those prefixes rather than reaching
+// into the persist package's internals.
+
+// stateFiles lists dir's journal and snapshot files in name (= numeric)
+// order, ignoring everything else (LOCK, gen, *.tmp debris).
+func stateFiles(dir string) (journals, snaps []string, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fault: scan state dir: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "journal-"):
+			journals = append(journals, name)
+		case strings.HasPrefix(name, "snap-"):
+			snaps = append(snaps, name)
+		}
+	}
+	sort.Strings(journals)
+	sort.Strings(snaps)
+	return journals, snaps, nil
+}
+
+// TornJournalTail truncates the newest journal in dir by n bytes — the
+// classic torn write: the leader died after the filesystem shortened its
+// final append. Records are packed back to back, so any n in (0, size of
+// the last record) leaves a checksum-failing torn tail that recovery and
+// standby tailing must both stop before. It fails rather than guess if dir
+// holds no journal or n would amputate the whole file.
+func TornJournalTail(dir string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("fault: torn tail of %d bytes", n)
+	}
+	journals, _, err := stateFiles(dir)
+	if err != nil {
+		return err
+	}
+	if len(journals) == 0 {
+		return fmt.Errorf("fault: no journal to tear in %s", dir)
+	}
+	path := filepath.Join(dir, journals[len(journals)-1])
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if int64(n) >= fi.Size() {
+		return fmt.Errorf("fault: tearing %d bytes would empty %s (%d bytes)", n, path, fi.Size())
+	}
+	return os.Truncate(path, fi.Size()-int64(n))
+}
+
+// WipeStateMagic overwrites the 8-byte magic header of every journal and
+// snapshot in dir — total storage corruption that keeps the file names (so
+// the persist generation counter, which also reads journal names, stays
+// monotone and fencing survives). Recovery over a wiped directory is a
+// cold start: every record is behind an invalid header and none may be
+// trusted.
+func WipeStateMagic(dir string) error {
+	journals, snaps, err := stateFiles(dir)
+	if err != nil {
+		return err
+	}
+	if len(journals)+len(snaps) == 0 {
+		return fmt.Errorf("fault: no state files to wipe in %s", dir)
+	}
+	for _, name := range append(journals, snaps...) {
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_WRONLY, 0)
+		if err != nil {
+			return err
+		}
+		_, werr := f.WriteAt([]byte("DEADBEEF"), 0)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("fault: wipe %s: %w", name, werr)
+		}
+	}
+	return nil
+}

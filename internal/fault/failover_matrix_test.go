@@ -1,0 +1,377 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"prete/internal/obs"
+	"prete/internal/optical"
+	"prete/internal/wan"
+)
+
+// tePeriod is the recovery bound every failover row is held to: an
+// aggressive lower bound for a production TE period (§5 runs minutes).
+const tePeriod = 10 * time.Second
+
+// failoverCase is one row of the failover matrix: an injected failure
+// combination plus its expected degradation-ladder outcome.
+type failoverCase struct {
+	name          string
+	standbys      int
+	crashStandbys []int        // standbys dead before the leader dies
+	epochs        int          // healthy epochs before the failure
+	crashBudget   int64        // >= 0: kill the leader mid-epoch after this many RPCs; -1: clean death between epochs
+	hbPartition   map[int]Spec // per-standby heartbeat chaos (partitioned failure detector)
+	agentSpec     Spec         // chaos on the promoted controller's agent transport
+	corrupt       func(dir string) error
+	holdFlock     int // ticks to run while the leader still holds the flock (claims must bounce)
+	maxTicks      int // detection ticks allowed after the flock is free
+
+	wantPromoted int // 0 = the ladder must hold at "no promotion, plan stays installed"
+	wantWarm     bool
+	wantEpoch    uint64
+	wantMirror   bool
+	wantReassert bool
+	wantBlocked  int
+}
+
+// failoverRun is the full observable outcome of one failover trace; two
+// runs of the same row must be reflect.DeepEqual — the bit-identical
+// replay evidence.
+type failoverRun struct {
+	Events      []string
+	Faults      []string
+	Rates       []map[string]float64
+	Promoted    int
+	Warm        bool
+	Epoch       uint64
+	MirrorMatch bool
+	Reasserted  bool
+	Degraded    bool
+	Blocked     int
+	HaltAttempt int64
+	Fenced      int
+	DetectTicks int
+}
+
+// runFailoverScenario drives one row: healthy epochs with standbys tailing,
+// the injected leader failure, detection ticks, promotion (or the expected
+// absence of one), the post-failover epoch, and the zombie fence probe.
+func runFailoverScenario(t *testing.T, fc failoverCase) failoverRun {
+	t.Helper()
+	reg := obs.NewRegistry()
+	log := wan.NewEventLog()
+	dir := t.TempDir()
+	retry := wan.RetryPolicy{MaxAttempts: 6, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Jitter: 0.5}
+
+	ct := NewCtlCrash(wan.TCPTransport{}, 0, reg)
+	ct.Disarm()
+	tb, err := wan.NewTestbedTransport(fastSwitch(), func(f optical.Features) float64 { return 0.8 }, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	tb.SolveUnits = 200000
+	tb.Ctl.Metrics = reg
+	tb.Ctl.Log = log
+	tb.Ctl.Retry = retry
+	if _, err := tb.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := wan.NewLeaseServer(tb.Ctl.Generation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lease.Close() })
+
+	var agentTr wan.Transport = wan.TCPTransport{}
+	var agentInj *Injector
+	if fc.agentSpec.Active() {
+		agentInj, err = NewInjector(fc.agentSpec, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agentTr = NewTransport(wan.TCPTransport{}, agentInj)
+	}
+	hbInjs := make(map[int]*Injector)
+	hbFn := func(id int) wan.Transport {
+		spec, ok := fc.hbPartition[id]
+		if !ok {
+			return wan.TCPTransport{}
+		}
+		inj, err := NewInjector(spec, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hbInjs[id] = inj
+		return NewTransport(wan.TCPTransport{}, inj)
+	}
+	agents := make(map[string]string, len(tb.Agents))
+	for _, a := range tb.Agents {
+		agents[a.Name] = a.Addr()
+	}
+	rs, err := wan.NewReplicaSet(dir, lease.Addr(), agents, wan.ReplicaOptions{
+		Standbys:         fc.standbys,
+		MissThreshold:    2,
+		HeartbeatTimeout: 100 * time.Millisecond,
+		Transport:        agentTr,
+		Heartbeat:        hbFn,
+		Retry:            retry,
+		Metrics:          reg,
+		Log:              log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+	for _, id := range fc.crashStandbys {
+		if err := rs.CrashStandby(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var run failoverRun
+	tick := func() *wan.Promotion {
+		p, err := rs.Tick()
+		if err != nil {
+			if !errors.Is(err, wan.ErrPromotionBlocked) {
+				t.Fatalf("tick: %v", err)
+			}
+			run.Blocked++
+		}
+		return p
+	}
+
+	// Healthy phase: the leader journals epochs, standbys tail them warm.
+	for e := 0; e < fc.epochs; e++ {
+		if _, err := tb.RunScenario(7); err != nil {
+			t.Fatalf("healthy epoch %d: %v", e+1, err)
+		}
+		if p := tick(); p != nil {
+			t.Fatalf("promotion while the leader is alive: %+v", p)
+		}
+	}
+	installedRates := make([]map[string]float64, len(tb.Agents))
+	for i, a := range tb.Agents {
+		installedRates[i] = a.Rates()
+	}
+
+	// The injected failure.
+	if fc.crashBudget >= 0 {
+		ct.Arm(fc.crashBudget)
+		if _, err := tb.RunScenario(7); !errors.Is(err, wan.ErrControllerHalted) {
+			t.Fatalf("mid-epoch crash budget %d: err = %v, want ErrControllerHalted", fc.crashBudget, err)
+		}
+		run.HaltAttempt = ct.Attempts()
+	}
+	for i := 0; i < fc.holdFlock; i++ {
+		if p := tick(); p != nil {
+			t.Fatalf("claim won against a leader that still holds the flock: %+v", p)
+		}
+	}
+	lease.Close()
+	if err := tb.Ctl.ReleaseState(); err != nil {
+		t.Fatal(err)
+	}
+	if fc.corrupt != nil {
+		if err := fc.corrupt(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Detection and hand-off.
+	var prom *wan.Promotion
+	start := time.Now()
+	for i := 0; i < fc.maxTicks && prom == nil; i++ {
+		run.DetectTicks++
+		prom = tick()
+	}
+	if fc.wantPromoted == 0 {
+		if prom != nil || rs.Promoted() {
+			t.Fatalf("unexpected promotion: %+v", prom)
+		}
+		// Degradation ladder floor: with no candidate left, the agents keep
+		// the last installed plan and traffic keeps routing.
+		for i, a := range tb.Agents {
+			if got := a.Rates(); !reflect.DeepEqual(got, installedRates[i]) {
+				t.Errorf("agent %d lost its installed plan with no promotion: %v", i, got)
+			}
+		}
+	} else {
+		if prom == nil {
+			t.Fatalf("no promotion within %d ticks", fc.maxTicks)
+		}
+		if detect := time.Since(start); detect >= tePeriod {
+			t.Errorf("detection + hand-off took %v, recovery bound is one TE period (%v)", detect, tePeriod)
+		}
+		if prom.Elapsed >= tePeriod {
+			t.Errorf("promotion alone took %v, bound is %v", prom.Elapsed, tePeriod)
+		}
+		run.Promoted = prom.StandbyID
+		run.Warm = prom.Recovery.Warm
+		run.Epoch = prom.Recovery.Epoch
+		run.MirrorMatch = prom.MirrorMatch
+		run.Reasserted = prom.Reasserted
+		run.Degraded = prom.Degraded
+		zombie := tb.AdoptPromoted(prom.Ctl)
+		t.Cleanup(func() { zombie.Close() })
+		if prom.Reasserted {
+			want := prom.Ctl.LastGoodRates()
+			for _, a := range tb.Agents {
+				if got := a.Rates(); !reflect.DeepEqual(got, want) {
+					t.Errorf("agent %s not converged to the re-asserted plan: %v want %v", a.Name, got, want)
+				}
+			}
+		}
+		// The adopted lineage completes its next epoch (warm or cold).
+		if _, err := tb.RunScenario(7); err != nil {
+			t.Fatalf("post-failover epoch: %v", err)
+		}
+		// Fence probe: the zombie predecessor's surviving sockets come back
+		// to life (Disarm models its network returning) and every write must
+		// bounce off the generation fence without mutating agent state.
+		ct.Disarm()
+		preProbe := make([]map[string]float64, len(tb.Agents))
+		for i, a := range tb.Agents {
+			preProbe[i] = a.Rates()
+		}
+		if _, err := zombie.UpdateRates(map[string]float64{"t0": 12345}); err == nil {
+			t.Error("zombie leader's post-promotion write was accepted")
+		}
+		for i, a := range tb.Agents {
+			run.Fenced += a.FenceRejections()
+			if got := a.Rates(); !reflect.DeepEqual(got, preProbe[i]) {
+				t.Errorf("agent %s state mutated by a fenced zombie write", a.Name)
+			}
+		}
+		if run.Fenced == 0 {
+			t.Error("no agent recorded a fence rejection for the zombie probe")
+		}
+	}
+
+	// Row expectations.
+	if run.Promoted != fc.wantPromoted {
+		t.Errorf("promoted standby = %d, want %d", run.Promoted, fc.wantPromoted)
+	}
+	if fc.wantPromoted != 0 {
+		if run.Warm != fc.wantWarm || run.Epoch != fc.wantEpoch {
+			t.Errorf("recovery warm=%v epoch=%d, want warm=%v epoch=%d",
+				run.Warm, run.Epoch, fc.wantWarm, fc.wantEpoch)
+		}
+		if run.MirrorMatch != fc.wantMirror {
+			t.Errorf("mirror match = %v, want %v", run.MirrorMatch, fc.wantMirror)
+		}
+		if run.Reasserted != fc.wantReassert {
+			t.Errorf("reasserted = %v, want %v", run.Reasserted, fc.wantReassert)
+		}
+	}
+	if run.Blocked != fc.wantBlocked {
+		t.Errorf("blocked claims = %d, want %d", run.Blocked, fc.wantBlocked)
+	}
+
+	run.Events = log.Events()
+	if agentInj != nil {
+		for _, h := range agentInj.History() {
+			run.Faults = append(run.Faults, "agent:"+h)
+		}
+	}
+	for id := 1; id <= fc.standbys; id++ {
+		if inj := hbInjs[id]; inj != nil {
+			for _, h := range inj.History() {
+				run.Faults = append(run.Faults, fmt.Sprintf("hb%d:%s", id, h))
+			}
+		}
+	}
+	for _, a := range tb.Agents {
+		run.Rates = append(run.Rates, a.Rates())
+	}
+	return run
+}
+
+// failoverMatrix is the F1–F8 failure-injection matrix: controller crash ×
+// standby crash × partition × journal corruption × double-leader, each row
+// with its expected rung on the degradation ladder.
+var failoverMatrix = []failoverCase{
+	{
+		// F1: clean leader death between epochs; the lowest standby promotes
+		// warm with an exact mirror and re-installs the plan.
+		name: "F1_clean_leader_crash", standbys: 2, epochs: 1, crashBudget: -1, maxTicks: 5,
+		wantPromoted: 1, wantWarm: true, wantEpoch: 1, wantMirror: true, wantReassert: true,
+	},
+	{
+		// F2: kill -9 partway through epoch 2's RPC fan-out; the un-journaled
+		// epoch is lost and the fleet converges back to epoch 1's plan.
+		name: "F2_crash_mid_epoch", standbys: 2, epochs: 1, crashBudget: 2, maxTicks: 5,
+		wantPromoted: 1, wantWarm: true, wantEpoch: 1, wantMirror: true, wantReassert: true,
+	},
+	{
+		// F3: standby 1 is already dead when the leader dies; the next live
+		// replica in ID order takes over.
+		name: "F3_first_standby_dead", standbys: 2, crashStandbys: []int{1},
+		epochs: 1, crashBudget: -1, maxTicks: 5,
+		wantPromoted: 2, wantWarm: true, wantEpoch: 1, wantMirror: true, wantReassert: true,
+	},
+	{
+		// F4: every standby is dead — the ladder's floor: no promotion, and
+		// the agents keep routing on the last installed plan.
+		name: "F4_all_standbys_dead", standbys: 2, crashStandbys: []int{1, 2},
+		epochs: 1, crashBudget: -1, maxTicks: 4,
+		wantPromoted: 0,
+	},
+	{
+		// F5: standby 1's failure detector is partitioned from the lease while
+		// the leader is alive — it elects falsely, and the flock blocks the
+		// double-leader claim (twice). Once the leader's storage lease is
+		// actually revoked, the same standby's retried claim wins.
+		name: "F5_partition_double_leader", standbys: 2, epochs: 1, crashBudget: -1,
+		hbPartition: map[int]Spec{1: {Seed: 99, Partition: 1, PartitionRPCs: 1 << 20}},
+		holdFlock:   2, maxTicks: 5,
+		wantPromoted: 1, wantWarm: true, wantEpoch: 1, wantMirror: true, wantReassert: true,
+		wantBlocked: 2,
+	},
+	{
+		// F6: the leader's death tore the final journal append; the standby's
+		// mirror is ahead of durable truth, so promotion flags the mismatch
+		// and converges the fleet onto the last DURABLE epoch.
+		name: "F6_torn_journal_tail", standbys: 2, epochs: 2, crashBudget: -1,
+		corrupt: func(dir string) error { return TornJournalTail(dir, 5) }, maxTicks: 5,
+		wantPromoted: 1, wantWarm: true, wantEpoch: 1, wantMirror: false, wantReassert: true,
+	},
+	{
+		// F7: total storage corruption (every state file's magic wiped). The
+		// promoted standby comes up cold — but still fenced, because the
+		// generation counter survives in file names — and rebuilds by epoch.
+		name: "F7_wiped_state_files", standbys: 2, epochs: 1, crashBudget: -1,
+		corrupt: WipeStateMagic, maxTicks: 5,
+		wantPromoted: 1, wantWarm: false, wantEpoch: 0, wantMirror: false, wantReassert: false,
+	},
+	{
+		// F8: drop + delay chaos on the promoted controller's agent links
+		// during the re-assert; per-RPC retries ride it out and the hand-off
+		// still completes deterministically.
+		name: "F8_chaos_during_reassert", standbys: 2, epochs: 1, crashBudget: -1,
+		agentSpec: Spec{Seed: 4321, Drop: 0.10, DelayProb: 0.3,
+			DelayMin: 200 * time.Microsecond, DelayMax: time.Millisecond},
+		maxTicks:     5,
+		wantPromoted: 1, wantWarm: true, wantEpoch: 1, wantMirror: true, wantReassert: true,
+	},
+}
+
+// TestFailoverMatrix runs every F1–F8 row twice and requires the two
+// traces to be bit-identical: same event order, same fault history, same
+// halt point, same final plans — the replay evidence that a failover found
+// in CI reproduces locally from its seeds.
+func TestFailoverMatrix(t *testing.T) {
+	for _, fc := range failoverMatrix {
+		t.Run(fc.name, func(t *testing.T) {
+			a := runFailoverScenario(t, fc)
+			b := runFailoverScenario(t, fc)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("row does not replay bit-identically:\n run A: %+v\n run B: %+v", a, b)
+			}
+		})
+	}
+}

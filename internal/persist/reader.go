@@ -1,0 +1,213 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"sort"
+	"sync"
+
+	"prete/internal/obs"
+)
+
+// TailRecord is one committed record surfaced by Reader.Tail: the epoch
+// sequence and the record body (the payload after the sequence prefix).
+type TailRecord struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// ReaderOptions tunes a Reader.
+type ReaderOptions struct {
+	// FS substitutes the filesystem; nil selects the operating system.
+	FS FS
+	// Metrics, when non-nil, receives the persist.tail.* series (polls,
+	// records surfaced, corrupt files skipped). Write-only.
+	Metrics *obs.Registry
+}
+
+// Reader is a read-only, lock-free opener of a state directory: the
+// multi-opener mode that lets a hot-standby controller tail a live leader's
+// journal. Unlike Open it takes no flock, never bumps the generation
+// counter, and never writes — its only filesystem operations are ReadDir
+// and ReadFile — so any number of Readers can watch a directory while a
+// Store appends to it, without perturbing the leader or its crash-recovery
+// contract in any way.
+//
+// A Reader remembers, per file, the byte offset of the validated record
+// prefix, so Tail is incremental: each poll re-scans only bytes appended
+// since the last poll. The stop-at-first-bad-record rule of recovery is
+// preserved — a torn tail (the leader crashed, or is mid-Append right now)
+// is never surfaced; if the record later completes (the append finishes and
+// fsyncs), the next poll picks it up from the same offset.
+type Reader struct {
+	dir     string
+	fs      FS
+	metrics *obs.Registry
+
+	mu     sync.Mutex
+	last   uint64 // highest sequence surfaced so far
+	files  map[string]*tailFile
+	closed bool
+}
+
+// tailFile is the Reader's per-file scan state.
+type tailFile struct {
+	// off is the end of the validated record prefix (0 until the magic has
+	// been verified). Scanning always resumes here, so a torn tail that
+	// later completes is re-examined and a completed record is surfaced
+	// exactly once.
+	off int
+	// dead marks a file whose header failed validation (wrong magic, or the
+	// file shrank); it is never scanned again, matching recovery's
+	// treat-as-corrupt rule.
+	dead bool
+}
+
+// OpenReader opens dir for read-only tailing. The directory may not exist
+// yet (a standby may start before its leader); Tail then reports no records
+// until it appears.
+func OpenReader(dir string, opt ReaderOptions) (*Reader, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("persist: open reader: empty directory")
+	}
+	fs := opt.FS
+	if fs == nil {
+		fs = osFS{}
+	}
+	return &Reader{dir: dir, fs: fs, metrics: opt.Metrics, files: make(map[string]*tailFile)}, nil
+}
+
+// LastSeq returns the highest sequence Tail has surfaced (0 before the
+// first record).
+func (r *Reader) LastSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}
+
+// Tail scans the directory and returns every committed record with a
+// sequence above the reader's position, in ascending sequence order,
+// deduplicated across snapshots and journals (a snapshot and a journal
+// record at the same sequence carry the same full state; whichever is
+// scanned first wins). The reader's position advances to the highest
+// returned sequence, so each record is surfaced exactly once across the
+// Reader's lifetime and the sequence order is globally monotone. Records
+// whose checksum fails, and everything after them in their file, are never
+// surfaced; a torn trailing record is retried on the next poll.
+func (r *Reader) Tail() ([]TailRecord, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("persist: tail on closed reader")
+	}
+	r.metrics.Counter("persist.tail.polls").Inc()
+	names, err := r.fs.ReadDir(r.dir)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return nil, nil // directory not created yet
+		}
+		return nil, fmt.Errorf("persist: tail %s: %w", r.dir, err)
+	}
+	// Deterministic scan order regardless of directory iteration order:
+	// snapshots by sequence, then journals by (base, generation) — the same
+	// order recovery uses.
+	type journalFile struct{ base, gen uint64 }
+	var snaps []uint64
+	var journals []journalFile
+	for _, name := range names {
+		if seq, ok := parseSnapName(name); ok {
+			snaps = append(snaps, seq)
+		} else if base, gen, ok := parseJournalName(name); ok {
+			journals = append(journals, journalFile{base, gen})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(journals, func(i, j int) bool {
+		if journals[i].base != journals[j].base {
+			return journals[i].base < journals[j].base
+		}
+		return journals[i].gen < journals[j].gen
+	})
+	scanOrder := make([]string, 0, len(snaps)+len(journals))
+	for _, seq := range snaps {
+		scanOrder = append(scanOrder, snapName(seq))
+	}
+	for _, j := range journals {
+		scanOrder = append(scanOrder, journalName(j.base, j.gen))
+	}
+
+	var out []TailRecord
+	seen := make(map[uint64]bool)
+	present := make(map[string]bool, len(scanOrder))
+	for _, name := range scanOrder {
+		present[name] = true
+		tf := r.files[name]
+		if tf == nil {
+			tf = &tailFile{}
+			r.files[name] = tf
+		}
+		if tf.dead {
+			continue
+		}
+		b, err := r.fs.ReadFile(r.dir + "/" + name)
+		if err != nil {
+			continue // pruned or transiently unreadable; retry next poll
+		}
+		if tf.off == 0 {
+			if len(b) < len(magic) {
+				continue // still being created (magic not yet durable)
+			}
+			if !bytes.Equal(b[:len(magic)], magic) {
+				tf.dead = true
+				r.metrics.Counter("persist.tail.corrupt_files").Inc()
+				continue
+			}
+			tf.off = len(magic)
+		}
+		if len(b) < tf.off {
+			// The file shrank below its validated prefix: it is no longer the
+			// append-only file we validated, so stop trusting it.
+			tf.dead = true
+			r.metrics.Counter("persist.tail.corrupt_files").Inc()
+			continue
+		}
+		rest := b[tf.off:]
+		for len(rest) > 0 {
+			rec, tail, ok := readRecord(rest)
+			if !ok {
+				break // torn or corrupt head: stop here, retry next poll
+			}
+			tf.off += len(rest) - len(tail)
+			rest = tail
+			if rec.seq > r.last && !seen[rec.seq] {
+				seen[rec.seq] = true
+				out = append(out, TailRecord{Seq: rec.seq, Payload: append([]byte(nil), rec.body...)})
+			}
+		}
+	}
+	// Forget files pruned by the leader's compaction so per-file state
+	// cannot grow without bound.
+	for name := range r.files {
+		if !present[name] {
+			delete(r.files, name)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if n := len(out); n > 0 {
+		r.last = out[n-1].Seq
+		r.metrics.Counter("persist.tail.records").Add(int64(n))
+	}
+	return out, nil
+}
+
+// Close marks the reader closed; subsequent Tails fail. A Reader holds no
+// locks or open files, so Close releases nothing — it exists so misuse
+// after an owner tears a standby down is loud. Idempotent.
+func (r *Reader) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	return nil
+}

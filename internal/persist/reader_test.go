@@ -1,0 +1,400 @@
+package persist
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// readOnlyFS hands reads through to inner and fails the test on any write
+// operation: proof that a Reader's filesystem footprint is read-only, which
+// is what makes it safe to point at a live leader's directory.
+type readOnlyFS struct {
+	t     *testing.T
+	inner FS
+}
+
+func (r readOnlyFS) MkdirAll(dir string) error {
+	r.t.Fatalf("reader wrote: MkdirAll %s", dir)
+	return nil
+}
+
+func (r readOnlyFS) Lock(name string) (io.Closer, error) {
+	r.t.Fatalf("reader locked: %s", name)
+	return nil, nil
+}
+
+func (r readOnlyFS) OpenAppend(name string) (File, error) {
+	r.t.Fatalf("reader wrote: OpenAppend %s", name)
+	return nil, nil
+}
+
+func (r readOnlyFS) Create(name string) (File, error) {
+	r.t.Fatalf("reader wrote: Create %s", name)
+	return nil, nil
+}
+
+func (r readOnlyFS) Rename(oldname, newname string) error {
+	r.t.Fatalf("reader wrote: Rename %s -> %s", oldname, newname)
+	return nil
+}
+
+func (r readOnlyFS) Remove(name string) error {
+	r.t.Fatalf("reader wrote: Remove %s", name)
+	return nil
+}
+
+func (r readOnlyFS) SyncDir(dir string) error {
+	r.t.Fatalf("reader wrote: SyncDir %s", dir)
+	return nil
+}
+
+func (r readOnlyFS) ReadFile(name string) ([]byte, error) { return r.inner.ReadFile(name) }
+func (r readOnlyFS) ReadDir(dir string) ([]string, error) { return r.inner.ReadDir(dir) }
+
+// newTestReader opens a read-only reader over fs whose write methods fail
+// the test if ever invoked.
+func newTestReader(t *testing.T, fs FS, dir string) *Reader {
+	t.Helper()
+	rd, err := OpenReader(dir, ReaderOptions{FS: readOnlyFS{t: t, inner: fs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rd
+}
+
+// TestReaderTailsLiveStore: a reader polling a directory a live store is
+// appending to surfaces each epoch exactly once, in order, across journal
+// appends, compaction rotations, and snapshot dedupe.
+func TestReaderTailsLiveStore(t *testing.T) {
+	fs := newMemFS(-1)
+	st, err := Open("state", Options{CompactEvery: 3, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rd := newTestReader(t, fs, "state")
+
+	if recs, err := rd.Tail(); err != nil || len(recs) != 0 {
+		t.Fatalf("tail of empty store: recs=%v err=%v", recs, err)
+	}
+	for e := uint64(1); e <= 8; e++ {
+		if err := st.Append(e, crashBody(e)); err != nil {
+			t.Fatal(err)
+		}
+		if st.NeedCompact() {
+			if err := st.Compact(e, crashBody(e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs, err := rd.Tail()
+		if err != nil {
+			t.Fatalf("epoch %d: tail: %v", e, err)
+		}
+		if len(recs) != 1 || recs[0].Seq != e {
+			t.Fatalf("epoch %d: tail surfaced %v, want exactly seq %d", e, recs, e)
+		}
+		if string(recs[0].Payload) != string(crashBody(e)) {
+			t.Fatalf("epoch %d: payload %q, want %q", e, recs[0].Payload, crashBody(e))
+		}
+	}
+	if rd.LastSeq() != 8 {
+		t.Fatalf("reader position %d, want 8", rd.LastSeq())
+	}
+	// Quiet store: nothing new.
+	if recs, err := rd.Tail(); err != nil || len(recs) != 0 {
+		t.Fatalf("tail of quiet store: recs=%v err=%v", recs, err)
+	}
+}
+
+// TestReaderFromScratchCatchesUp: a reader opened against an already
+// populated directory returns all committed epochs ascending on its first
+// poll, deduplicated across the snapshot and the journal.
+func TestReaderFromScratchCatchesUp(t *testing.T) {
+	fs := newMemFS(-1)
+	if acked := crashScript(fs, "state"); acked != 8 {
+		t.Fatalf("script acked %d, want 8", acked)
+	}
+	rd := newTestReader(t, fs, "state")
+	recs, err := rd.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if i > 0 && recs[i-1].Seq >= r.Seq {
+			t.Fatalf("tail not strictly ascending: %v", recs)
+		}
+		if string(r.Payload) != string(crashBody(r.Seq)) {
+			t.Fatalf("seq %d: payload %q, want %q", r.Seq, r.Payload, crashBody(r.Seq))
+		}
+	}
+	if n := len(recs); n == 0 || recs[n-1].Seq != 8 {
+		t.Fatalf("catch-up tail ended at %v, want final seq 8", recs)
+	}
+}
+
+// TestReaderTornTailCompletesLater: a record torn mid-append is invisible,
+// and once the remaining bytes land the very next poll surfaces it — the
+// reader must not give up on (or double-count) a file with a torn tail.
+func TestReaderTornTailCompletesLater(t *testing.T) {
+	fs := newMemFS(-1)
+	full := append([]byte(nil), magic...)
+	full = appendRecord(full, 1, []byte("one"))
+	mark := len(full)
+	full = appendRecord(full, 2, []byte("two"))
+
+	name := "state/" + journalName(0, 1)
+	cut := mark + 5 // mid-header of record 2
+	fs.files[name] = append([]byte(nil), full[:cut]...)
+
+	rd := newTestReader(t, fs, "state")
+	recs, err := rd.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("torn tail surfaced %v, want only seq 1", recs)
+	}
+	// The append completes (leader finished its write + fsync).
+	fs.files[name] = append([]byte(nil), full...)
+	recs, err = rd.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 2 || string(recs[0].Payload) != "two" {
+		t.Fatalf("completed tail surfaced %v, want seq 2 %q", recs, "two")
+	}
+}
+
+// TestReaderStopsAtCorruptRecord: a checksum-failing record blocks the
+// reader at the same point recovery would stop, and records behind it are
+// never surfaced — the stop-at-first-bad contract applies to tailing too.
+func TestReaderStopsAtCorruptRecord(t *testing.T) {
+	fs := newMemFS(-1)
+	b := append([]byte(nil), magic...)
+	b = appendRecord(b, 1, []byte("one"))
+	mark := len(b)
+	b = appendRecord(b, 2, []byte("two"))
+	b = appendRecord(b, 3, []byte("three"))
+	b[mark+recordHeaderLen+2] ^= 0xff // flip a bit inside record 2's payload
+
+	fs.files["state/"+journalName(0, 1)] = b
+	rd := newTestReader(t, fs, "state")
+	for poll := 0; poll < 3; poll++ {
+		recs, err := rd.Tail()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if poll == 0 {
+			if len(recs) != 1 || recs[0].Seq != 1 {
+				t.Fatalf("corrupt tail surfaced %v, want only seq 1", recs)
+			}
+		} else if len(recs) != 0 {
+			t.Fatalf("poll %d resurfaced records past corruption: %v", poll, recs)
+		}
+	}
+}
+
+// TestReaderMissingDirAndClose: a reader may be opened before its leader
+// creates the directory (no records, no error), and a closed reader fails
+// loudly.
+func TestReaderMissingDirAndClose(t *testing.T) {
+	rd, err := OpenReader(t.TempDir()+"/not-yet", ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := rd.Tail(); err != nil || len(recs) != 0 {
+		t.Fatalf("tail of absent dir: recs=%v err=%v", recs, err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Tail(); err == nil {
+		t.Fatal("tail after Close succeeded")
+	}
+}
+
+// TestReaderAgainstLockedStoreOS: on the real filesystem, a Reader tails a
+// directory whose flock is held by a live store — the exact situation the
+// single-opener lock used to make impossible — while a second Store opener
+// still fails fast with the typed LockError.
+func TestReaderAgainstLockedStoreOS(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second writer acquired a held lock")
+	} else if _, ok := err.(*LockError); !ok {
+		t.Fatalf("second writer error %v, want *LockError", err)
+	}
+	rd, err := OpenReader(dir, ReaderOptions{})
+	if err != nil {
+		t.Fatalf("reader blocked by writer lock: %v", err)
+	}
+	for e := uint64(1); e <= 3; e++ {
+		if err := st.Append(e, crashBody(e)); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := rd.Tail()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].Seq != e {
+			t.Fatalf("epoch %d: live tail surfaced %v", e, recs)
+		}
+	}
+}
+
+// crashScriptTailing is crashScript with a reader polling after every write
+// the store acknowledges, validating each surfaced record against the
+// scripted bodies. The reader runs on a write-refusing FS wrapper, so any
+// interference with the store's files would fail the test immediately.
+func crashScriptTailing(t *testing.T, fs FS, dir string, rd *Reader) (acked uint64) {
+	t.Helper()
+	poll := func() {
+		recs, err := rd.Tail()
+		if err != nil {
+			t.Fatalf("tail during crash script: %v", err)
+		}
+		for _, r := range recs {
+			if r.Seq < 1 || r.Seq > 8 {
+				t.Fatalf("tail surfaced epoch %d outside the script", r.Seq)
+			}
+			if string(r.Payload) != string(crashBody(r.Seq)) {
+				t.Fatalf("tail surfaced torn state for epoch %d: %q", r.Seq, r.Payload)
+			}
+		}
+	}
+	st, err := Open(dir, Options{CompactEvery: 3, FS: fs})
+	if err != nil {
+		return 0
+	}
+	defer st.Close()
+	poll()
+	for e := uint64(1); e <= 8; e++ {
+		if err := st.Append(e, crashBody(e)); err != nil {
+			poll()
+			return acked
+		}
+		acked = e
+		poll()
+		if st.NeedCompact() {
+			if err := st.Compact(e, crashBody(e)); err != nil {
+				poll()
+				return acked
+			}
+			poll()
+		}
+	}
+	return acked
+}
+
+// TestReaderNonInterferenceCrashSweep is the multi-opener safety proof: the
+// crash-at-every-byte sweep is replayed with a concurrent polling Reader,
+// and at every cut point the acked count and the recovered state are
+// identical to the reader-free run — a reader can watch a leader die at any
+// byte offset without changing what the next incarnation recovers. The
+// reader itself must surface every acked epoch and never a torn one.
+func TestReaderNonInterferenceCrashSweep(t *testing.T) {
+	ref := newMemFS(-1)
+	if acked := crashScript(ref, "state"); acked != 8 {
+		t.Fatalf("reference run acked %d epochs, want 8", acked)
+	}
+	total := ref.wrote
+
+	for cut := int64(0); cut <= total; cut++ {
+		plain := newMemFS(cut)
+		ackedPlain := crashScript(plain, "state")
+		recPlain, errPlain := recoverDir(plain, "state")
+
+		watched := newMemFS(cut)
+		rd := newTestReader(t, watched, "state")
+		ackedWatched := crashScriptTailing(t, watched, "state", rd)
+
+		if ackedPlain != ackedWatched {
+			t.Fatalf("cut=%d: acked %d with reader, %d without — the reader interfered",
+				cut, ackedWatched, ackedPlain)
+		}
+		recWatched, errWatched := recoverDir(watched, "state")
+		if (errPlain == nil) != (errWatched == nil) {
+			t.Fatalf("cut=%d: recovery err %v with reader, %v without", cut, errWatched, errPlain)
+		}
+		if errPlain == nil {
+			if recPlain.Seq != recWatched.Seq || string(recPlain.Payload) != string(recWatched.Payload) {
+				t.Fatalf("cut=%d: recovery diverged under a reader: seq %d vs %d",
+					cut, recWatched.Seq, recPlain.Seq)
+			}
+		}
+		// The reader saw every epoch the store acked before the crash.
+		if rd.LastSeq() < ackedWatched {
+			t.Fatalf("cut=%d: reader position %d behind acked epoch %d",
+				cut, rd.LastSeq(), ackedWatched)
+		}
+	}
+}
+
+// TestReaderSurvivesPruning: when compaction prunes old snapshots and
+// journals out from under the reader, already-surfaced records stay
+// surfaced-once and per-file state is dropped with the files.
+func TestReaderSurvivesPruning(t *testing.T) {
+	fs := newMemFS(-1)
+	st, err := Open("state", Options{CompactEvery: 1, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rd := newTestReader(t, fs, "state")
+	for e := uint64(1); e <= 6; e++ {
+		if err := st.Append(e, crashBody(e)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Compact(e, crashBody(e)); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := rd.Tail()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].Seq != e {
+			t.Fatalf("epoch %d under aggressive compaction: %v", e, recs)
+		}
+	}
+	if got := len(rd.files); got > 4 {
+		t.Fatalf("reader retains state for %d files after pruning", got)
+	}
+}
+
+// TestReaderIgnoresForeignFiles: stray files (tmp leftovers, unrelated
+// names) are never scanned, and a wrong-magic journal is skipped without
+// wedging the poll.
+func TestReaderIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := append([]byte(nil), magic...)
+	good = appendRecord(good, 1, []byte("one"))
+	if err := os.WriteFile(dir+"/"+journalName(0, 1), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/"+journalName(0, 2), []byte("NOTMAGIC"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/"+snapName(9)+".tmp", []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/README", []byte("not a record file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenReader(dir, ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rd.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("tail over foreign files surfaced %v, want only seq 1", recs)
+	}
+}

@@ -1,0 +1,121 @@
+package persist
+
+import (
+	"os"
+	"testing"
+)
+
+// fuzzTailSeed builds the structured seed inputs: a valid journal prefix
+// split at interesting offsets so the fuzzer starts from torn-then-completed
+// shapes rather than pure noise.
+func fuzzTailSeed() (full []byte, marks []int) {
+	full = append([]byte(nil), magic...)
+	marks = append(marks, len(full))
+	full = appendRecord(full, 1, []byte(`{"epoch":1}`))
+	marks = append(marks, len(full))
+	full = appendRecord(full, 2, []byte(`{"epoch":2}`))
+	marks = append(marks, len(full))
+	full = appendRecord(full, 3, []byte(`{"epoch":3}`))
+	return full, marks
+}
+
+// FuzzTail pins the standby's view of arbitrary directory bytes: for any
+// journal prefix, any appended growth (the leader writing — possibly torn,
+// possibly corrupt), and growth landing either in the journal or as a
+// snapshot file, Tail must never panic, must only surface records that are
+// checksum-valid in the bytes it read, must keep sequences strictly
+// ascending across polls, and must never surface a record twice.
+func FuzzTail(f *testing.F) {
+	full, marks := fuzzTailSeed()
+	for _, m := range marks {
+		f.Add(full[:m], full[m:], false)
+	}
+	f.Add(full[:marks[1]+5], full[marks[1]+5:], false) // torn mid-record, then completed
+	corrupt := append([]byte(nil), full...)
+	corrupt[marks[1]+recordHeaderLen+3] ^= 0x40
+	f.Add(corrupt, []byte(nil), false)
+	f.Add([]byte("NOT-PRST"), full, false)
+	f.Add([]byte(nil), []byte(nil), false)
+	snap := append([]byte(nil), magic...)
+	snap = appendRecord(snap, 9, []byte(`{"epoch":9}`))
+	f.Add(full, snap, true)
+
+	f.Fuzz(func(t *testing.T, prefix, growth []byte, asSnap bool) {
+		if len(prefix)+len(growth) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		dir := t.TempDir()
+		journal := dir + "/" + journalName(0, 1)
+		if err := os.WriteFile(journal, prefix, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rd, err := OpenReader(dir, ReaderOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := rd.Tail()
+		if err != nil {
+			t.Fatalf("first tail: %v", err)
+		}
+		checkSurfaced(t, "first", first, map[string][]byte{journal: prefix})
+
+		// The "leader" writes: either more journal bytes or a snapshot.
+		images := map[string][]byte{journal: prefix}
+		if asSnap {
+			snapFile := dir + "/" + snapName(9)
+			if err := os.WriteFile(snapFile, growth, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			images[snapFile] = growth
+		} else {
+			grown := append(append([]byte(nil), prefix...), growth...)
+			if err := os.WriteFile(journal, grown, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			images[journal] = grown
+		}
+		second, err := rd.Tail()
+		if err != nil {
+			t.Fatalf("second tail: %v", err)
+		}
+		checkSurfaced(t, "second", second, images)
+
+		// Monotone, duplicate-free across polls.
+		last := uint64(0)
+		for _, batch := range [][]TailRecord{first, second} {
+			for _, r := range batch {
+				if r.Seq <= last {
+					t.Fatalf("sequence %d not strictly above %d across polls:\n%v\n%v",
+						r.Seq, last, first, second)
+				}
+				last = r.Seq
+			}
+		}
+	})
+}
+
+// checkSurfaced asserts every surfaced record is a checksum-valid record in
+// the valid prefix of one of the file images the reader could have read.
+func checkSurfaced(t *testing.T, phase string, recs []TailRecord, images map[string][]byte) {
+	t.Helper()
+	valid := make(map[uint64][]string)
+	for _, img := range images {
+		scanned, _, _ := scanRecords(img)
+		for _, r := range scanned {
+			valid[r.seq] = append(valid[r.seq], string(r.body))
+		}
+	}
+	for _, r := range recs {
+		found := false
+		for _, body := range valid[r.Seq] {
+			if body == string(r.Payload) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s tail surfaced seq %d payload %q not present as a valid record",
+				phase, r.Seq, r.Payload)
+		}
+	}
+}

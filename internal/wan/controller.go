@@ -188,6 +188,26 @@ func (c *Controller) Close() error {
 	return first
 }
 
+// ReleaseState detaches and closes the state store without touching the
+// controller's connections or in-memory fence state — the model of a
+// leader whose storage lease was revoked out from under it (or whose
+// process was killed, with the flock dying with it) while the process
+// itself keeps running. The released controller keeps stamping its old
+// generation, so once a standby claims the directory and bumps the
+// generation, every surviving RPC from this zombie is fenced by the
+// agents as Stale. Journaling becomes a no-op. Safe with no store
+// attached; not undoable — attach state to a fresh controller instead.
+func (c *Controller) ReleaseState() error {
+	c.mu.Lock()
+	st := c.store
+	c.store = nil
+	c.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return st.Close()
+}
+
 // stamp assigns the fence generation and the next per-peer sequence number
 // for one logical RPC to name. Unfenced controllers (no state store) stamp
 // nothing, keeping the wire encoding identical to the legacy protocol.

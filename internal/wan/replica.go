@@ -1,0 +1,546 @@
+package wan
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"time"
+
+	"prete/internal/obs"
+	"prete/internal/persist"
+)
+
+// ErrPromotionBlocked reports that a standby could not take over the state
+// directory: either the current leader (or a faster sibling standby) still
+// holds the flock, or another standby in this set has already been
+// promoted. The caller backs off and retries on a later tick — two
+// candidates can race into an election, but the store's single-opener lock
+// guarantees at most one wins.
+var ErrPromotionBlocked = errors.New("wan: promotion blocked")
+
+// LeaseServer is the leader-liveness endpoint of a replicated controller:
+// a loopback listener speaking the existing JSON request/response protocol,
+// answering MsgPing with the leader's current fence generation. Standbys
+// heartbeat it through any wan.Transport — which is exactly what makes the
+// election seam fault-injectable: wrapping the standby's transport with
+// fault.Transport drops or partitions heartbeats deterministically, and
+// killing the leader process is modeled by closing the server. The server
+// dies with its listener, so a kill -9 takes the lease down with it.
+type LeaseServer struct {
+	gen func() uint64
+	ln  net.Listener
+
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewLeaseServer starts a lease endpoint on a fresh loopback port. gen is
+// polled on every heartbeat (pass Controller.Generation); it must be safe
+// for concurrent use.
+func NewLeaseServer(gen func() uint64) (*LeaseServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("wan: lease listen: %w", err)
+	}
+	s := &LeaseServer{
+		gen:    gen,
+		ln:     ln,
+		conns:  make(map[*conn]struct{}),
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the lease endpoint's listen address.
+func (s *LeaseServer) Addr() string { return s.ln.Addr().String() }
+
+// Close kills the lease: the listener and every live heartbeat connection
+// are severed, so standbys start missing immediately — this is how a test
+// (or a process exit path) models leader death. Idempotent.
+func (s *LeaseServer) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err = s.ln.Close()
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *LeaseServer) track(c *conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *LeaseServer) untrack(c *conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+func (s *LeaseServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		cn := newConn(c)
+		if !s.track(cn) {
+			cn.close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(cn)
+			s.serve(cn)
+		}()
+	}
+}
+
+func (s *LeaseServer) serve(c *conn) {
+	defer c.close()
+	for {
+		var req Request
+		if err := c.readRequest(&req); err != nil {
+			return
+		}
+		resp := &Response{OK: true, Gen: s.gen()}
+		if req.Type != MsgPing {
+			resp = &Response{Err: fmt.Sprintf("lease: unsupported message %q", req.Type)}
+		}
+		if err := c.writeResponse(resp); err != nil {
+			return
+		}
+	}
+}
+
+// ReplicaOptions tunes a ReplicaSet.
+type ReplicaOptions struct {
+	// Standbys is the number of hot standbys (replica IDs 1..Standbys; the
+	// leader is implicitly replica 0). 0 is a valid, empty set.
+	Standbys int
+	// MissThreshold is the number of consecutive heartbeat misses after
+	// which a standby declares the leader dead; <= 0 selects 3.
+	MissThreshold int
+	// HeartbeatTimeout bounds one heartbeat round trip; <= 0 selects 500 ms.
+	HeartbeatTimeout time.Duration
+	// Transport is what a promoted standby dials the switch agents through
+	// (chaos tests pass a fault.Transport); nil selects TCPTransport.
+	Transport Transport
+	// Heartbeat supplies the per-standby heartbeat transport, so a test can
+	// partition one standby's view of the lease without touching the others;
+	// nil selects TCPTransport for every standby. Standby id's heartbeats
+	// dial the lease under the peer name "lease/<id>", giving each standby a
+	// decorrelated per-peer fault stream.
+	Heartbeat func(id int) Transport
+	// Timeout and Retry tune the promoted controller's RPCs (zero values
+	// keep the wan defaults).
+	Timeout time.Duration
+	Retry   RetryPolicy
+	// Metrics receives the wan.election.* and wan.failover.* series.
+	Metrics *obs.Registry
+	// Log records the ordered, wall-clock-free election/failover events
+	// (replica tails, heartbeat misses, elections, promotions) that the
+	// bit-identical-replay tests diff.
+	Log *EventLog
+}
+
+func (o ReplicaOptions) withDefaults() ReplicaOptions {
+	if o.MissThreshold <= 0 {
+		o.MissThreshold = 3
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 500 * time.Millisecond
+	}
+	if o.Transport == nil {
+		o.Transport = TCPTransport{}
+	}
+	return o
+}
+
+// Standby is one warm controller-in-waiting: a read-only journal tail
+// keeping a mirror of the leader's EpochState, and a heartbeat connection
+// to the leader's lease. It holds no lock and no agent connections until
+// promoted.
+type Standby struct {
+	id int
+	rd *persist.Reader
+	hb Conn
+
+	// Guarded by the owning ReplicaSet's mu.
+	mirror   *EpochState
+	misses   int
+	crashed  bool
+	promoted bool
+}
+
+// StandbyStatus is a point-in-time snapshot of one standby.
+type StandbyStatus struct {
+	// ID is the replica id (1-based; the leader is 0).
+	ID int
+	// Epoch is the mirror's epoch (0 = nothing tailed yet).
+	Epoch uint64
+	// Misses is the current consecutive heartbeat-miss count.
+	Misses int
+	// Crashed and Promoted report the standby's lifecycle state.
+	Crashed, Promoted bool
+}
+
+// Promotion is the outcome of a successful leader hand-off.
+type Promotion struct {
+	// StandbyID is the replica that took over.
+	StandbyID int
+	// Ctl is the promoted controller: fenced under a fresh generation, state
+	// recovered from the shared directory, agents dialed. Ownership passes
+	// to the caller (Testbed.AdoptPromoted installs it; the caller closes it).
+	Ctl *Controller
+	// Recovery is what the promoted controller recovered from the directory.
+	Recovery *Recovery
+	// MirrorMatch reports that the standby's tailed mirror agreed exactly
+	// with the durably recovered state — the journal-tailing path and the
+	// recovery path saw the same bytes.
+	MirrorMatch bool
+	// Reasserted reports the recovered last-good rate table was re-installed
+	// fleet-wide under the new generation.
+	Reasserted bool
+	// Degraded reports the re-assert could not complete cleanly (agents keep
+	// whatever table they have, which still routes traffic).
+	Degraded bool
+	// Elapsed is the wall time from election to hand-off complete.
+	Elapsed time.Duration
+}
+
+// ReplicaSet manages the hot standbys of one controller: per-tick journal
+// tailing, heartbeat failure detection, and deterministic leader election.
+// Everything observable is tick-driven and seeded — which standby detects
+// the death, on which tick, and who wins the election replay bit-identically
+// for a fixed harness schedule and fault seed. The election rule is
+// lowest-live-replica-wins: on each tick, the lowest-numbered live standby
+// whose consecutive miss count has reached MissThreshold claims the state
+// directory; the persist flock arbitrates any race (a claim against a held
+// lock fails typed, and the loser retries on a later tick).
+type ReplicaSet struct {
+	dir    string
+	agents map[string]string
+	opt    ReplicaOptions
+
+	mu       sync.Mutex
+	standbys []*Standby
+	promoted bool
+}
+
+// NewReplicaSet builds opt.Standbys warm standbys for the controller whose
+// state directory is dir and whose lease listens at leaseAddr; agents is
+// the switch fleet (name -> address) a promoted standby will dial.
+func NewReplicaSet(dir, leaseAddr string, agents map[string]string, opt ReplicaOptions) (*ReplicaSet, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("wan: replica set needs a state directory")
+	}
+	opt = opt.withDefaults()
+	rs := &ReplicaSet{dir: dir, agents: agents, opt: opt}
+	for id := 1; id <= opt.Standbys; id++ {
+		rd, err := persist.OpenReader(dir, persist.ReaderOptions{Metrics: opt.Metrics})
+		if err != nil {
+			rs.Close()
+			return nil, err
+		}
+		hbtr := Transport(TCPTransport{})
+		if opt.Heartbeat != nil {
+			hbtr = opt.Heartbeat(id)
+		}
+		hb, err := hbtr.Dial(fmt.Sprintf("lease/%d", id), leaseAddr)
+		if err != nil {
+			rd.Close()
+			rs.Close()
+			return nil, fmt.Errorf("wan: replica %d: dial lease: %w", id, err)
+		}
+		rs.standbys = append(rs.standbys, &Standby{id: id, rd: rd, hb: hb})
+	}
+	return rs, nil
+}
+
+// Status snapshots every standby in replica-id order.
+func (rs *ReplicaSet) Status() []StandbyStatus {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]StandbyStatus, 0, len(rs.standbys))
+	for _, s := range rs.standbys {
+		st := StandbyStatus{ID: s.id, Misses: s.misses, Crashed: s.crashed, Promoted: s.promoted}
+		if s.mirror != nil {
+			st.Epoch = s.mirror.Epoch
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Promoted reports whether a standby from this set has taken over.
+func (rs *ReplicaSet) Promoted() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.promoted
+}
+
+// CrashStandby marks a standby as dead: it stops tailing, stops
+// heartbeating, and is skipped by elections — the failover matrix's
+// standby-outage axis.
+func (rs *ReplicaSet) CrashStandby(id int) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for _, s := range rs.standbys {
+		if s.id == id {
+			s.crashed = true
+			rs.opt.Log.Addf("replica %d crashed", id)
+			return nil
+		}
+	}
+	return fmt.Errorf("wan: no standby %d", id)
+}
+
+// live returns the non-crashed, non-promoted standbys in id order.
+func (rs *ReplicaSet) live() []*Standby {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var out []*Standby
+	for _, s := range rs.standbys {
+		if !s.crashed && !s.promoted {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Tick advances the replica set by one deterministic step: every live
+// standby tails the journal into its mirror, then heartbeats the lease,
+// and if any standby's consecutive misses have reached the threshold the
+// lowest such replica runs an election and tries to promote itself. Tick
+// returns the Promotion on success, (nil, nil) while the leader looks
+// alive, and ErrPromotionBlocked (wrapped) when an election fired but the
+// state directory is still flock-held — the zombie-leader case; the caller
+// keeps ticking and the claim is retried once the lock dies.
+func (rs *ReplicaSet) Tick() (*Promotion, error) {
+	if rs.Promoted() {
+		return nil, nil
+	}
+	rs.opt.Metrics.Counter("wan.election.ticks").Inc()
+	live := rs.live()
+	for _, s := range live {
+		rs.tailStandby(s)
+	}
+	for _, s := range live {
+		rs.heartbeatStandby(s)
+	}
+	for _, s := range live {
+		rs.mu.Lock()
+		ready := s.misses >= rs.opt.MissThreshold && !s.crashed && !s.promoted
+		misses := s.misses
+		rs.mu.Unlock()
+		if !ready {
+			continue
+		}
+		rs.opt.Metrics.Counter("wan.election.elections").Inc()
+		rs.opt.Log.Addf("election replica=%d misses=%d", s.id, misses)
+		return rs.Promote(s.id)
+	}
+	return nil, nil
+}
+
+// tailStandby drains the journal into the standby's mirror.
+func (rs *ReplicaSet) tailStandby(s *Standby) {
+	recs, err := s.rd.Tail()
+	if err != nil {
+		rs.opt.Metrics.Counter("wan.replica.tail_errors").Inc()
+		rs.opt.Log.Addf("replica %d tail error", s.id)
+		return
+	}
+	var latest *EpochState
+	for _, r := range recs {
+		st, derr := decodeEpochState(r.Payload)
+		if derr != nil {
+			rs.opt.Metrics.Counter("wan.replica.decode_errors").Inc()
+			continue
+		}
+		latest = st
+	}
+	if latest == nil {
+		return
+	}
+	rs.mu.Lock()
+	s.mirror = latest
+	rs.mu.Unlock()
+	rs.opt.Metrics.Counter("wan.replica.mirror_updates").Inc()
+	rs.opt.Log.Addf("replica %d mirror epoch=%d", s.id, latest.Epoch)
+}
+
+// heartbeatStandby runs one liveness probe against the lease.
+func (rs *ReplicaSet) heartbeatStandby(s *Standby) {
+	rs.opt.Metrics.Counter("wan.election.heartbeats").Inc()
+	resp, err := s.hb.RoundTrip(&Request{Type: MsgPing}, rs.opt.HeartbeatTimeout)
+	ok := err == nil && resp != nil && resp.OK
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !ok {
+		s.misses++
+		rs.opt.Metrics.Counter("wan.election.misses").Inc()
+		rs.opt.Log.Addf("replica %d heartbeat miss n=%d", s.id, s.misses)
+		return
+	}
+	if s.misses != 0 {
+		rs.opt.Log.Addf("replica %d heartbeat recovered", s.id)
+		s.misses = 0
+	}
+}
+
+// Promote hands the fleet to standby id: a final journal drain, then a
+// full Store open of the shared directory (taking the flock and bumping
+// the generation — this is the fencing step: from here on, agents reject
+// the dead leader's RPCs as Stale), an audit of the tailed mirror against
+// the durably recovered state, and a fleet-wide re-assert of the recovered
+// last-good rate table under the new generation. Concurrent promotions are
+// safe: the flock admits exactly one winner, and losers fail typed with
+// ErrPromotionBlocked.
+func (rs *ReplicaSet) Promote(id int) (*Promotion, error) {
+	var s *Standby
+	rs.mu.Lock()
+	for _, cand := range rs.standbys {
+		if cand.id == id {
+			s = cand
+		}
+	}
+	switch {
+	case s == nil:
+		rs.mu.Unlock()
+		return nil, fmt.Errorf("wan: no standby %d", id)
+	case s.crashed:
+		rs.mu.Unlock()
+		return nil, fmt.Errorf("wan: standby %d is crashed", id)
+	case rs.promoted:
+		rs.mu.Unlock()
+		return nil, fmt.Errorf("wan: replica %d: a sibling already leads: %w", id, ErrPromotionBlocked)
+	}
+	rs.mu.Unlock()
+
+	start := time.Now()
+	ctl, err := NewControllerTransport(rs.opt.Transport, rs.agents)
+	if err != nil {
+		return nil, fmt.Errorf("wan: promote replica %d: %w", id, err)
+	}
+	ctl.Metrics = rs.opt.Metrics
+	ctl.Log = rs.opt.Log
+	if rs.opt.Timeout > 0 {
+		ctl.Timeout = rs.opt.Timeout
+	}
+	if rs.opt.Retry.MaxAttempts > 0 {
+		ctl.Retry = rs.opt.Retry
+	}
+	rs.tailStandby(s) // final drain: anything journaled since the last tick
+	rec, err := ctl.OpenState(rs.dir)
+	if err != nil {
+		ctl.Close()
+		var lockErr *persist.LockError
+		if errors.As(err, &lockErr) {
+			rs.opt.Metrics.Counter("wan.failover.lock_blocked").Inc()
+			rs.opt.Log.Addf("promotion blocked replica=%d", id)
+			return nil, fmt.Errorf("wan: replica %d: state dir held by a live leader: %w", id, ErrPromotionBlocked)
+		}
+		return nil, fmt.Errorf("wan: promote replica %d: %w", id, err)
+	}
+
+	p := &Promotion{StandbyID: id, Ctl: ctl, Recovery: rec}
+	rs.mu.Lock()
+	if rs.promoted {
+		// A sibling won between our check and our open. Cannot happen while
+		// the flock is honored, but stay defensive: back out completely.
+		rs.mu.Unlock()
+		ctl.Close()
+		return nil, fmt.Errorf("wan: replica %d: a sibling already leads: %w", id, ErrPromotionBlocked)
+	}
+	rs.promoted = true
+	s.promoted = true
+	mirror := s.mirror
+	rs.mu.Unlock()
+
+	p.MirrorMatch = reflect.DeepEqual(mirror, rec.State)
+	if p.MirrorMatch {
+		rs.opt.Metrics.Counter("wan.failover.mirror_match").Inc()
+	} else {
+		rs.opt.Metrics.Counter("wan.failover.mirror_mismatch").Inc()
+	}
+	rs.opt.Log.Addf("promotion replica=%d gen=%d warm=%v mirror_match=%v",
+		id, rec.Generation, rec.Warm, p.MirrorMatch)
+
+	// Re-assert the last good plan fleet-wide under the new generation: the
+	// agents may hold rates pushed by the dead leader after its last journal
+	// entry, and the promoted controller must converge them back onto the
+	// last durable plan (per-RPC retries apply; a failed re-assert leaves
+	// each agent's installed table in place, which still routes traffic).
+	if last := ctl.LastGoodRates(); last != nil {
+		if _, uerr := ctl.UpdateRates(last); uerr != nil {
+			p.Degraded = true
+			rs.opt.Metrics.Counter("wan.failover.reassert_errors").Inc()
+			rs.opt.Log.Addf("failover reassert failed replica=%d", id)
+		} else {
+			p.Reasserted = true
+			rs.opt.Metrics.Counter("wan.failover.reasserts").Inc()
+			rs.opt.Log.Addf("failover reassert replica=%d epoch=%d", id, rec.Epoch)
+		}
+	}
+	p.Elapsed = time.Since(start)
+	rs.opt.Metrics.Counter("wan.failover.promotions").Inc()
+	rs.opt.Metrics.Timer("wan.failover.time").Observe(p.Elapsed)
+	return p, nil
+}
+
+// Close tears down every standby's reader and heartbeat connection. A
+// promoted controller is NOT closed — its ownership passed to the caller
+// with the Promotion. Idempotent.
+func (rs *ReplicaSet) Close() error {
+	rs.mu.Lock()
+	standbys := rs.standbys
+	rs.standbys = nil
+	rs.mu.Unlock()
+	var first error
+	for _, s := range standbys {
+		if s.rd != nil {
+			if err := s.rd.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if s.hb != nil {
+			if err := s.hb.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,415 @@
+package wan
+
+import (
+	"crypto/sha256"
+	"errors"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prete/internal/obs"
+)
+
+// agentAddrs maps a testbed's agent fleet to the name->address form the
+// replica types take.
+func agentAddrs(tb *Testbed) map[string]string {
+	m := make(map[string]string, len(tb.Agents))
+	for _, a := range tb.Agents {
+		m[a.Name] = a.Addr()
+	}
+	return m
+}
+
+// newReplicaHarness stands up a stateful leader testbed, its lease
+// endpoint, and a replica set of n standbys with fast failure detection
+// (2 misses at a 100 ms heartbeat timeout).
+func newReplicaHarness(t *testing.T, n int) (tb *Testbed, dir string, lease *LeaseServer, rs *ReplicaSet) {
+	t.Helper()
+	dir = t.TempDir()
+	tb = newStateTestbed(t)
+	if _, err := tb.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := NewLeaseServer(tb.Ctl.Generation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lease.Close() })
+	rs, err = NewReplicaSet(dir, lease.Addr(), agentAddrs(tb), ReplicaOptions{
+		Standbys:         n,
+		MissThreshold:    2,
+		HeartbeatTimeout: 100 * time.Millisecond,
+		Metrics:          obs.NewRegistry(),
+		Log:              NewEventLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+	return tb, dir, lease, rs
+}
+
+// TestReplicaTailsWarmMirror: standbys tail the live leader's journal on
+// every tick and keep a warm EpochState mirror, without a single heartbeat
+// miss while the leader lives.
+func TestReplicaTailsWarmMirror(t *testing.T) {
+	checkGoroutineLeaks(t)
+	tb, _, _, rs := newReplicaHarness(t, 2)
+
+	// Cold tick before any epoch: no promotion, empty mirrors.
+	if p, err := rs.Tick(); p != nil || err != nil {
+		t.Fatalf("cold tick: promotion=%v err=%v", p, err)
+	}
+	for _, st := range rs.Status() {
+		if st.Epoch != 0 || st.Misses != 0 {
+			t.Fatalf("cold standby status = %+v", st)
+		}
+	}
+
+	for epoch := uint64(1); epoch <= 2; epoch++ {
+		if _, err := tb.RunScenario(7); err != nil {
+			t.Fatal(err)
+		}
+		if p, err := rs.Tick(); p != nil || err != nil {
+			t.Fatalf("tick after epoch %d: promotion=%v err=%v", epoch, p, err)
+		}
+		for _, st := range rs.Status() {
+			if st.Epoch != epoch {
+				t.Errorf("standby %d mirror epoch = %d after epoch %d", st.ID, st.Epoch, epoch)
+			}
+			if st.Misses != 0 || st.Crashed || st.Promoted {
+				t.Errorf("standby %d unexpected state: %+v", st.ID, st)
+			}
+		}
+	}
+	m := rs.opt.Metrics
+	if v := m.Counter("wan.election.ticks").Value(); v != 3 {
+		t.Errorf("wan.election.ticks = %d, want 3", v)
+	}
+	if v := m.Counter("wan.election.heartbeats").Value(); v != 6 {
+		t.Errorf("wan.election.heartbeats = %d, want 6", v)
+	}
+	if v := m.Counter("wan.election.misses").Value(); v != 0 {
+		t.Errorf("wan.election.misses = %d, want 0", v)
+	}
+	if v := m.Counter("wan.failover.promotions").Value(); v != 0 {
+		t.Errorf("wan.failover.promotions = %d, want 0", v)
+	}
+}
+
+// TestFailoverPromotesAndFencesZombie is the tentpole end-to-end check:
+// the leader dies after one epoch, the lowest live standby detects the
+// missing lease, claims the state directory under a new generation,
+// re-asserts the last-good plan fleet-wide, and the zombie predecessor's
+// surviving connections are fenced by every agent.
+func TestFailoverPromotesAndFencesZombie(t *testing.T) {
+	checkGoroutineLeaks(t)
+	tb, _, lease, rs := newReplicaHarness(t, 2)
+	if _, err := tb.RunScenario(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	wantRates := tb.Ctl.LastGoodRates()
+	if wantRates == nil {
+		t.Fatal("no last-good rates after epoch 1")
+	}
+
+	// Leader death: the lease dies with the process, the flock dies with
+	// it, but its agent connections survive — the zombie case.
+	lease.Close()
+	if err := tb.Ctl.ReleaseState(); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := rs.Tick() // miss 1 of 2
+	if p != nil || err != nil {
+		t.Fatalf("first miss tick: promotion=%v err=%v", p, err)
+	}
+	p, err = rs.Tick() // miss 2 of 2: election fires, standby 1 claims
+	if err != nil {
+		t.Fatalf("election tick: %v", err)
+	}
+	if p == nil {
+		t.Fatal("election tick produced no promotion")
+	}
+	if p.StandbyID != 1 {
+		t.Errorf("promoted standby = %d, want lowest live replica 1", p.StandbyID)
+	}
+	if !p.Recovery.Warm || p.Recovery.Epoch != 1 || p.Recovery.Generation != 2 {
+		t.Errorf("promotion recovery = %+v, want warm epoch 1 gen 2", p.Recovery)
+	}
+	if !p.MirrorMatch {
+		t.Error("tailed mirror did not match recovered state")
+	}
+	if !p.Reasserted || p.Degraded {
+		t.Errorf("re-assert: reasserted=%v degraded=%v, want clean re-assert", p.Reasserted, p.Degraded)
+	}
+	if p.Elapsed >= 10*time.Second {
+		t.Errorf("promotion took %v, want well under one TE period", p.Elapsed)
+	}
+
+	zombie := tb.AdoptPromoted(p.Ctl)
+	t.Cleanup(func() { zombie.Close() })
+
+	// The fleet converged back onto the last-good plan under generation 2.
+	for _, a := range tb.Agents {
+		if got := a.Rates(); !reflect.DeepEqual(got, wantRates) {
+			t.Errorf("agent %s rates after failover = %v, want %v", a.Name, got, wantRates)
+		}
+		if got := a.MaxGen(); got != 2 {
+			t.Errorf("agent %s fence = gen %d, want 2", a.Name, got)
+		}
+	}
+
+	// The zombie still stamps generation 1; every write bounces off the
+	// fence without mutating switch state.
+	if _, err := zombie.UpdateRates(map[string]float64{"t0": 99}); err == nil {
+		t.Fatal("zombie leader's post-promotion write accepted")
+	}
+	fenced := 0
+	for _, a := range tb.Agents {
+		fenced += a.FenceRejections()
+		for id, r := range a.Rates() {
+			if r != wantRates[id] {
+				t.Errorf("agent %s rate %s mutated by fenced zombie: %v", a.Name, id, r)
+			}
+		}
+	}
+	if fenced == 0 {
+		t.Error("no agent recorded a fence rejection")
+	}
+
+	// The replica set is inert after hand-off; the adopted controller runs
+	// the next epoch as the recovered lineage.
+	if p2, err := rs.Tick(); p2 != nil || err != nil {
+		t.Fatalf("post-promotion tick: promotion=%v err=%v", p2, err)
+	}
+	if _, err := tb.RunScenario(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Ctl.Epoch(); got != 2 {
+		t.Errorf("epoch after failover + one round = %d, want 2", got)
+	}
+	m := rs.opt.Metrics
+	if v := m.Counter("wan.failover.promotions").Value(); v != 1 {
+		t.Errorf("wan.failover.promotions = %d, want 1", v)
+	}
+	if v := m.Counter("wan.failover.mirror_match").Value(); v != 1 {
+		t.Errorf("wan.failover.mirror_match = %d, want 1", v)
+	}
+	if v := m.Counter("wan.failover.reasserts").Value(); v != 1 {
+		t.Errorf("wan.failover.reasserts = %d, want 1", v)
+	}
+}
+
+// TestPromotionBlockedByLiveLeader: a claim against a leader that still
+// holds the flock — a partitioned standby that wrongly suspects leader
+// death — fails typed with ErrPromotionBlocked and changes nothing; once
+// the leader's storage lease is revoked the same claim succeeds.
+func TestPromotionBlockedByLiveLeader(t *testing.T) {
+	checkGoroutineLeaks(t)
+	tb, _, _, rs := newReplicaHarness(t, 1)
+	if _, err := tb.RunScenario(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Tick(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := rs.Promote(1); !errors.Is(err, ErrPromotionBlocked) {
+		t.Fatalf("claim against live leader: err = %v, want ErrPromotionBlocked", err)
+	}
+	if rs.Promoted() {
+		t.Fatal("blocked claim left the set promoted")
+	}
+	if v := rs.opt.Metrics.Counter("wan.failover.lock_blocked").Value(); v != 1 {
+		t.Errorf("wan.failover.lock_blocked = %d, want 1", v)
+	}
+
+	// Storage lease revoked: the retried claim wins, one generation later.
+	if err := tb.Ctl.ReleaseState(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := rs.Promote(1)
+	if err != nil {
+		t.Fatalf("claim after release: %v", err)
+	}
+	t.Cleanup(func() { p.Ctl.Close() })
+	if !p.Recovery.Warm || p.Recovery.Generation != 2 {
+		t.Errorf("recovery after release = %+v, want warm gen 2", p.Recovery)
+	}
+}
+
+// TestDoublePromotionRace: two standbys race to claim the same freed state
+// directory concurrently; the flock admits exactly one, the loser fails
+// typed with ErrPromotionBlocked, and the run is clean under -race.
+func TestDoublePromotionRace(t *testing.T) {
+	checkGoroutineLeaks(t)
+	tb, _, lease, rs := newReplicaHarness(t, 2)
+	if _, err := tb.RunScenario(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	lease.Close()
+	if err := tb.Ctl.ReleaseState(); err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		p   *Promotion
+		err error
+	}
+	results := make([]outcome, 2)
+	var wg sync.WaitGroup
+	for i, id := range []int{1, 2} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := rs.Promote(id)
+			results[i] = outcome{p, err}
+		}()
+	}
+	wg.Wait()
+
+	var won, blocked int
+	for _, r := range results {
+		switch {
+		case r.p != nil && r.err == nil:
+			won++
+			t.Cleanup(func() { r.p.Ctl.Close() })
+			if !r.p.Recovery.Warm || r.p.Recovery.Generation != 2 {
+				t.Errorf("winner recovery = %+v, want warm gen 2", r.p.Recovery)
+			}
+		case errors.Is(r.err, ErrPromotionBlocked):
+			blocked++
+		default:
+			t.Errorf("unexpected race outcome: promotion=%v err=%v", r.p, r.err)
+		}
+	}
+	if won != 1 || blocked != 1 {
+		t.Fatalf("race admitted %d winners, blocked %d — want exactly 1 and 1", won, blocked)
+	}
+	if !rs.Promoted() {
+		t.Error("set not marked promoted after the race")
+	}
+}
+
+// TestReplicasQuietByteIdentity pins the -replicas=1 compatibility
+// guarantee: a leader watched by read-only standbys produces exactly the
+// same event sequence, the same agent-visible rates, and byte-identical
+// state-directory files as an unwatched leader — replication is a
+// read-only side channel until a failover actually happens.
+func TestReplicasQuietByteIdentity(t *testing.T) {
+	checkGoroutineLeaks(t)
+	run := func(standbys int) (events []string, rates []map[string]float64, files map[string][32]byte) {
+		dir := t.TempDir()
+		tb := newStateTestbed(t)
+		if _, err := tb.OpenState(dir); err != nil {
+			t.Fatal(err)
+		}
+		var rs *ReplicaSet
+		if standbys > 0 {
+			lease, err := NewLeaseServer(tb.Ctl.Generation)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { lease.Close() })
+			rs, err = NewReplicaSet(dir, lease.Addr(), agentAddrs(tb), ReplicaOptions{
+				Standbys: standbys,
+				Metrics:  obs.NewRegistry(),
+				Log:      NewEventLog(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { rs.Close() })
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := tb.RunScenario(7); err != nil {
+				t.Fatal(err)
+			}
+			if rs != nil {
+				if p, err := rs.Tick(); p != nil || err != nil {
+					t.Fatalf("quiet tick: promotion=%v err=%v", p, err)
+				}
+			}
+		}
+		for _, a := range tb.Agents {
+			rates = append(rates, a.Rates())
+		}
+		names, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = make(map[string][32]byte, len(names))
+		for _, de := range names {
+			b, err := os.ReadFile(dir + "/" + de.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[de.Name()] = sha256.Sum256(b)
+		}
+		return tb.Ctl.Log.Events(), rates, files
+	}
+
+	plainEvents, plainRates, plainFiles := run(0)
+	watchEvents, watchRates, watchFiles := run(2)
+	if !reflect.DeepEqual(watchEvents, plainEvents) {
+		t.Errorf("leader event sequence diverged under watch:\n with: %v\n want: %v",
+			watchEvents, plainEvents)
+	}
+	if !reflect.DeepEqual(watchRates, plainRates) {
+		t.Errorf("agent rates diverged under watch: %v vs %v", watchRates, plainRates)
+	}
+	if !reflect.DeepEqual(watchFiles, plainFiles) {
+		t.Errorf("state-directory bytes diverged under watch:\n with: %v\n want: %v",
+			watchFiles, plainFiles)
+	}
+}
+
+// TestLeaseServerProtocol: the lease answers pings with the leader's live
+// generation and refuses anything else without dying.
+func TestLeaseServerProtocol(t *testing.T) {
+	checkGoroutineLeaks(t)
+	var gen atomic.Uint64
+	gen.Store(7)
+	lease, err := NewLeaseServer(gen.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lease.Close() })
+	cn, err := TCPTransport{}.Dial("lease/1", lease.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cn.Close() })
+	resp, err := cn.RoundTrip(&Request{Type: MsgPing}, time.Second)
+	if err != nil || resp == nil || !resp.OK || resp.Gen != 7 {
+		t.Fatalf("ping = %+v, %v; want OK gen 7", resp, err)
+	}
+	gen.Store(9)
+	resp, err = cn.RoundTrip(&Request{Type: MsgPing}, time.Second)
+	if err != nil || !resp.OK || resp.Gen != 9 {
+		t.Fatalf("second ping = %+v, %v; want OK gen 9", resp, err)
+	}
+	if resp, _ := cn.RoundTrip(&Request{Type: MsgUpdateRates}, time.Second); resp == nil || resp.OK {
+		t.Fatalf("lease accepted a non-ping request: %+v", resp)
+	}
+	// The connection survives the refusal.
+	if resp, err := cn.RoundTrip(&Request{Type: MsgPing}, time.Second); err != nil || !resp.OK {
+		t.Fatalf("ping after refusal = %+v, %v", resp, err)
+	}
+	if err := lease.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lease.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -119,11 +119,7 @@ func TestFenceRejectsStaleGeneration(t *testing.T) {
 	if got := a.MaxGen(); got != 1 {
 		t.Fatalf("agent fenced to gen %d after first controller, want 1", got)
 	}
-	zombie.mu.Lock()
-	st := zombie.store
-	zombie.store = nil
-	zombie.mu.Unlock()
-	if err := st.Close(); err != nil {
+	if err := zombie.ReleaseState(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -504,6 +504,25 @@ func (tb *Testbed) RestartController(tr Transport) error {
 	return nil
 }
 
+// AdoptPromoted installs a promoted replica's controller as the testbed's
+// active controller — the failover analogue of RestartController. The old
+// controller is returned rather than closed: failover tests keep the
+// zombie predecessor alive and dialable to prove the agents fence its
+// post-promotion RPCs (and a real dead leader cannot be "closed" anyway).
+// Like a restart, adoption drops the in-memory solver state; if the
+// promoted controller recovered warm, the warm-start cache is re-primed
+// from its journaled probability vector.
+func (tb *Testbed) AdoptPromoted(ctl *Controller) (zombie *Controller) {
+	zombie = tb.Ctl
+	tb.Ctl = ctl
+	tb.opt = nil
+	tb.solveCache = nil
+	if len(ctl.LastProbs()) > 0 {
+		tb.primeSolver()
+	}
+	return zombie
+}
+
 // installsFor maps Algorithm 1's new tunnels to per-switch install
 // commands (the head-end switch of each tunnel programs it).
 func (tb *Testbed) installsFor(upd *core.UpdateResult) []TunnelInstall {
