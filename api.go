@@ -13,6 +13,7 @@ import (
 	"prete/internal/telemetry"
 	"prete/internal/topology"
 	"prete/internal/trace"
+	"prete/internal/wan"
 )
 
 // Domain types re-exported from the implementation packages so downstream
@@ -50,6 +51,23 @@ type (
 	Allocation = te.Allocation
 	// Plan is one epoch's TE decision.
 	Plan = te.Plan
+
+	// ClassSpec is an ordered set of SLO tiers (latency-critical first)
+	// splitting the demand matrix for the strict-priority classed solve.
+	// Parse one from "name:share:weight[:policy],..." with ParseClassSpec.
+	ClassSpec = te.ClassSpec
+	// ClassTier is one SLO tier: name, demand share, objective weight, and
+	// degradation policy.
+	ClassTier = te.Tier
+	// TierPolicy says how the admission ladder treats a tier under
+	// degradation: protect, defer, or shed.
+	TierPolicy = te.TierPolicy
+	// ClassedResult is the per-tier output of a strict-priority classed
+	// solve, including each tier's predicted uncarriable fraction.
+	ClassedResult = core.ClassedResult
+	// AdmissionDecision is one predictive admission-ladder tick: the exact
+	// per-tier admitted/shed/deferred split of offered traffic.
+	AdmissionDecision = wan.AdmissionDecision
 
 	// Sample is a per-second optical telemetry observation.
 	Sample = optical.Sample
@@ -176,3 +194,12 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // DefaultIngestConfig returns the streaming-ingest defaults (4 shards,
 // 1024-sample rings, 0.75 watermark, flush every tick).
 func DefaultIngestConfig() IngestConfig { return ingest.DefaultConfig() }
+
+// DefaultClassSpec returns the built-in three-tier SLO spec:
+// lc:0.2:100:protect, std:0.5:10:defer, bulk:0.3:1:shed.
+func DefaultClassSpec() *ClassSpec { return te.DefaultClassSpec() }
+
+// ParseClassSpec parses an SLO tier spec of the form
+// "name:share:weight[:policy],..." ("default" selects DefaultClassSpec,
+// "" selects nil — classless operation).
+func ParseClassSpec(s string) (*ClassSpec, error) { return te.ParseClassSpec(s) }

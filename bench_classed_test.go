@@ -1,0 +1,46 @@
+package prete
+
+// SLO-class benchmarks: the strict-priority classed solve (three
+// sequential Benders solves on residual networks — the per-epoch price of
+// class-aware planning) and one admission-ladder tick (the controller-side
+// cost of turning a classed result into per-tier admit/shed/defer
+// decisions, which must stay negligible next to any solve).
+
+import (
+	"testing"
+
+	"prete/internal/core"
+	"prete/internal/te"
+	"prete/internal/wan"
+)
+
+func BenchmarkSolveClassed(b *testing.B) {
+	in := anytimeInput(b, "B4")
+	spec := te.DefaultClassSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DefaultOptimizer().SolveClassed(in, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdmissionTick(b *testing.B) {
+	spec := te.DefaultClassSpec()
+	cr := &core.ClassedResult{Alloc: make(te.Allocation)}
+	for k, tier := range spec.Tiers {
+		cr.Tiers = append(cr.Tiers, core.TierResult{
+			Name: tier.Name, Policy: tier.Policy, Weight: tier.Weight,
+			Offered: 100 * float64(k+1), Res: &core.Result{},
+			ExpectedLoss: 0.1 * float64(k),
+		})
+	}
+	adm := wan.NewAdmission(spec, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := adm.Decide(cr, true)
+		if err := dec.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"prete/internal/experiments"
 	"prete/internal/obs"
 	"prete/internal/par"
+	"prete/internal/te"
 )
 
 func main() {
@@ -31,8 +32,15 @@ func main() {
 		budget    = flag.String("budget", "", "per-solve compute budget in deterministic work units, e.g. -budget 5000 (0/empty = unlimited)")
 		metrics   = flag.Bool("metrics", false, "print a JSON metrics snapshot after the run")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
+		classes   = flag.String("classes", "", "SLO tier spec for class-aware experiments, 'name:share:weight[:policy],...' or 'default' (empty = the built-in default spec)")
 	)
 	flag.Parse()
+
+	classSpec, err := te.ParseClassSpec(*classes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prete-sim: -classes: %v\n", err)
+		os.Exit(2)
+	}
 
 	units, timeout, err := core.ParseBudget(*budget)
 	if err != nil {
@@ -69,7 +77,7 @@ func main() {
 		defer closeFn()
 		fmt.Fprintf(os.Stderr, "prete-sim: debug server on http://%s/metrics\n", addr)
 	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *par_, Budget: units, Metrics: reg}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallelism: *par_, Budget: units, Metrics: reg, Classes: classSpec}
 	switch {
 	case *all:
 		for _, id := range experiments.IDs() {

@@ -33,6 +33,7 @@ import (
 	"prete/internal/obs"
 	"prete/internal/optical"
 	"prete/internal/par"
+	"prete/internal/te"
 	"prete/internal/wan"
 )
 
@@ -48,8 +49,15 @@ func main() {
 		ingestRate   = flag.Int("ingest-rate", 0, "feed the VOA script through the streaming ingest pipeline at this many samples per tick (0 = classic batch detector path)")
 		ingestShards = flag.Int("ingest-shards", 0, "ingest worker shard count when -ingest-rate is set (0 = default)")
 		replicas     = flag.Int("replicas", 1, "controller incarnations: 1 = the classic single controller; N > 1 additionally runs N-1 hot standbys that tail the -state-dir journal and would promote on leader death (requires -state-dir)")
+		classes      = flag.String("classes", "", "SLO tier spec 'name:share:weight[:policy],...' or 'default' (lc:0.2:100:protect,std:0.5:10:defer,bulk:0.3:1:shed); per-class demands run the strict-priority classed solve and the predictive admission ladder (empty = classless)")
 	)
 	flag.Parse()
+
+	classSpec, err := te.ParseClassSpec(*classes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prete-testbed: -classes: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *replicas < 1 {
 		fmt.Fprintln(os.Stderr, "prete-testbed: -replicas must be >= 1")
@@ -114,6 +122,10 @@ func main() {
 	defer tb.Close()
 	tb.SolveUnits = solveUnits
 	tb.SolveTimeout = solveTimeout
+	tb.Classes = classSpec
+	if classSpec.Enabled() {
+		fmt.Printf("SLO classes: %s\n", classSpec)
+	}
 	if *budget != "" {
 		fmt.Printf("TE solve budget: %s\n", *budget)
 	}
@@ -204,6 +216,14 @@ func main() {
 			fmt.Println("  plan: DEGRADED — last good plan kept where the fresh one could not be installed")
 		} else {
 			fmt.Println("  plan: fresh plan fully installed despite injected faults")
+		}
+	}
+
+	if dec := tb.LastAdmission(); dec != nil {
+		fmt.Println("\nSLO-class admission (predictive ladder):")
+		for _, td := range dec.Tiers {
+			fmt.Printf("  %-6s %-9s offered %7.1f  admitted %7.1f  shed %7.1f  deferred %7.1f\n",
+				td.Tier, td.Rung, td.Offered, td.Admitted, td.Shed, td.Deferred)
 		}
 	}
 

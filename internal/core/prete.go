@@ -127,7 +127,18 @@ func (p *PreTE) PlanEpochCached(in EpochInput, cache *SolveCache) (*EpochPlan, e
 	return p.planEpoch(in, cache)
 }
 
-func (p *PreTE) planEpoch(in EpochInput, cache *SolveCache) (*EpochPlan, error) {
+// epochPrep is the output of the pipeline's pre-optimize stages (calibrate,
+// tunnel update, scenario regen), shared by planEpoch and PlanEpochClassed.
+type epochPrep struct {
+	probs   []float64
+	tunnels *routing.TunnelSet
+	update  *UpdateResult
+	set     *scenario.Set
+}
+
+// prepareEpoch runs steps 1-3 of the Fig 8 pipeline: Eqn. 1 calibration,
+// Algorithm 1 tunnel establishment per signal, and scenario regeneration.
+func (p *PreTE) prepareEpoch(in EpochInput) (*epochPrep, error) {
 	if len(in.PI) != len(in.Net.Fibers) {
 		return nil, fmt.Errorf("core: %d static probabilities for %d fibers", len(in.PI), len(in.Net.Fibers))
 	}
@@ -181,6 +192,16 @@ func (p *PreTE) planEpoch(in EpochInput, cache *SolveCache) (*EpochPlan, error) 
 	if err != nil {
 		return nil, err
 	}
+	return &epochPrep{probs: probs, tunnels: tunnels, update: update, set: set}, nil
+}
+
+func (p *PreTE) planEpoch(in EpochInput, cache *SolveCache) (*EpochPlan, error) {
+	prep, err := p.prepareEpoch(in)
+	if err != nil {
+		return nil, err
+	}
+	probs, tunnels, update, set := prep.probs, prep.tunnels, prep.update, prep.set
+	reg := p.Opt.Metrics
 	// Step 4: optimize.
 	teIn := &te.Input{
 		Net: in.Net, Tunnels: tunnels, Demands: in.Demands,

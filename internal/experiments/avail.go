@@ -97,7 +97,7 @@ func fig13(w io.Writer, opts Options) error {
 		for si, scheme := range schemes {
 			for ci, scale := range scales {
 				a := grid[si][ci]
-				fmt.Fprintf(w, "%s\t%s\t%.1f\t%.6f\t%.2f\n", topo, scheme, scale, a.Mean, sim.Nines(a.Mean))
+				fmt.Fprintf(w, "%s\t%s\t%.1f\t%s\n", topo, scheme, scale, availCell(a))
 			}
 		}
 	}
@@ -208,7 +208,7 @@ func fig15(w io.Writer, opts Options) error {
 	for qi, q := range qualities {
 		for ci, scale := range scales {
 			a := grid[qi*len(scales)+ci]
-			fmt.Fprintf(w, "%s\t%.1f\t%.6f\t%.2f\n", q.Name, scale, a.Mean, sim.Nines(a.Mean))
+			fmt.Fprintf(w, "%s\t%.1f\t%s\n", q.Name, scale, availCell(a))
 		}
 	}
 	fmt.Fprintln(w, "# paper: better predictors keep more nines; the NN tracks the oracle closely")
@@ -312,7 +312,7 @@ func fig17(w io.Writer, opts Options) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%s\t%.1f\t%.6f\t%.2f\n", c.name, scale, a.Mean, sim.Nines(a.Mean))
+			fmt.Fprintf(w, "%s\t%.1f\t%s\n", c.name, scale, availCell(a))
 		}
 	}
 	fmt.Fprintln(w, "# paper: at scale 2.7 failure prediction (TeaVar*->PreTE*) gains far more than demand prediction (TeaVar->TeaVar*)")
@@ -540,7 +540,7 @@ func fig20b(w io.Writer, opts Options) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%.2f\t%.1f\t%.6f\t%.2f\n", alpha, scale, a.Mean, sim.Nines(a.Mean))
+			fmt.Fprintf(w, "%.2f\t%.1f\t%s\n", alpha, scale, availCell(a))
 		}
 	}
 	fmt.Fprintln(w, "# paper: more predictable cuts keep availability high even at large scales")

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"prete/internal/obs"
+	"prete/internal/te"
 )
 
 // Options tunes experiment execution.
@@ -38,6 +39,10 @@ type Options struct {
 	// Write-only: experiment output is byte-identical with Metrics set or
 	// nil.
 	Metrics *obs.Registry
+	// Classes overrides the SLO tier spec of class-aware experiments
+	// (sloclass); nil uses te.DefaultClassSpec(). Classless experiments
+	// ignore it.
+	Classes *te.ClassSpec
 }
 
 // Func runs one experiment, writing its table/series to w.

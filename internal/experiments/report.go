@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prete/internal/sim"
+)
+
+// Jain computes Jain's fairness index (sum x)^2 / (n * sum x^2) over the
+// per-entity allocations xs: 1 when every entity gets an equal share,
+// approaching 1/n as one entity takes everything. An empty vector has no
+// fairness to measure and returns 0; an all-zero vector is perfectly equal
+// and returns 1.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// availCell formats the availability/nines column pair shared by every
+// availability table ("%.6f\t%.2f"), so the sloclass experiment and the
+// fig13-family sweeps print identical cells for the same measurement.
+func availCell(a sim.Availability) string {
+	return fmt.Sprintf("%.6f\t%.2f", a.Mean, sim.Nines(a.Mean))
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"prete/internal/sim"
+)
+
+func TestJain(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 1},
+		{"all-zero", []float64{0, 0, 0}, 1},
+		{"equal", []float64{2, 2, 2, 2}, 1},
+		{"one-hot", []float64{1, 0, 0, 0}, 0.25},
+		// (10+20+30)^2 / (3 * (100+400+900)) = 3600/4200
+		{"skewed", []float64{10, 20, 30}, 3600.0 / 4200.0},
+	}
+	for _, c := range cases {
+		if got := Jain(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jain(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Scale invariance: fairness is about shares, not magnitudes.
+	a := Jain([]float64{1, 2, 3})
+	b := Jain([]float64{100, 200, 300})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("Jain not scale-invariant: %v vs %v", a, b)
+	}
+}
+
+func TestAvailCell(t *testing.T) {
+	got := availCell(sim.Availability{Mean: 0.999})
+	want := "0.999000\t3.00"
+	if got != want {
+		t.Errorf("availCell = %q, want %q", got, want)
+	}
+	if availCell(sim.Availability{Mean: 1}) == "" {
+		t.Error("availCell empty for perfect availability")
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sloclassAvail extracts the availability column of a sloclass row.
+func sloclassAvail(t *testing.T, out, rowPrefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, rowPrefix) {
+			continue
+		}
+		cols := strings.Split(line, "\t")
+		if len(cols) < 3 {
+			t.Fatalf("sloclass row %q too short: %q", rowPrefix, line)
+		}
+		v, err := strconv.ParseFloat(cols[2], 64)
+		if err != nil {
+			t.Fatalf("sloclass row %q availability: %v", rowPrefix, err)
+		}
+		return v
+	}
+	t.Fatalf("sloclass output missing row %q:\n%s", rowPrefix, out)
+	return 0
+}
+
+// TestSloclassStorm pins the acceptance criteria of the classed storm
+// experiment: the latency-critical tier's availability is strictly above
+// the uniform PreTE plan's, the shed total stays within the provable
+// residual (the experiment itself errors otherwise), and the output is
+// byte-identical across parallelism settings.
+func TestSloclassStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm evaluation suite; skipped in -short mode")
+	}
+	run := func(parallelism int) string {
+		var buf bytes.Buffer
+		opts := quickOpts()
+		opts.Parallelism = parallelism
+		if err := Run("sloclass", &buf, opts); err != nil {
+			t.Fatalf("sloclass: %v", err)
+		}
+		return buf.String()
+	}
+	out := run(1)
+
+	lc := sloclassAvail(t, out, "lc\t")
+	uniform := sloclassAvail(t, out, "uniform-PreTE\t")
+	if lc <= uniform {
+		t.Errorf("latency-critical availability %v not strictly above uniform PreTE %v:\n%s", lc, uniform, out)
+	}
+	if bulk := sloclassAvail(t, out, "bulk\t"); lc < bulk {
+		t.Errorf("protected tier (%v) below shed tier (%v)", lc, bulk)
+	}
+	if !strings.Contains(out, "jain_per_tier\t") {
+		t.Errorf("missing Jain fairness row:\n%s", out)
+	}
+	if !strings.Contains(out, "shed_total_Gbps\t") {
+		t.Errorf("missing shed accounting row:\n%s", out)
+	}
+	// Every tier of the default spec appears, with its policy.
+	for _, row := range []string{"lc\tprotect\t", "std\tdefer\t", "bulk\tshed\t"} {
+		if !strings.Contains(out, row) {
+			t.Errorf("missing tier row %q:\n%s", row, out)
+		}
+	}
+
+	if out4 := run(4); out4 != out {
+		t.Errorf("sloclass output differs across parallelism:\n--- p1 ---\n%s\n--- p4 ---\n%s", out, out4)
+	}
+}

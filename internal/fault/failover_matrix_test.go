@@ -7,8 +7,10 @@ import (
 	"testing"
 	"time"
 
+	"prete/internal/core"
 	"prete/internal/obs"
 	"prete/internal/optical"
+	"prete/internal/te"
 	"prete/internal/wan"
 )
 
@@ -27,8 +29,10 @@ type failoverCase struct {
 	hbPartition   map[int]Spec // per-standby heartbeat chaos (partitioned failure detector)
 	agentSpec     Spec         // chaos on the promoted controller's agent transport
 	corrupt       func(dir string) error
-	holdFlock     int // ticks to run while the leader still holds the flock (claims must bounce)
-	maxTicks      int // detection ticks allowed after the flock is free
+	holdFlock     int                      // ticks to run while the leader still holds the flock (claims must bounce)
+	maxTicks      int                      // detection ticks allowed after the flock is free
+	classes       *te.ClassSpec            // SLO tiers; nil runs classless
+	storm         []core.DegradationSignal // extra degraded fibers per reaction (degradation storm)
 
 	wantPromoted int // 0 = the ladder must hold at "no promotion, plan stays installed"
 	wantWarm     bool
@@ -55,6 +59,7 @@ type failoverRun struct {
 	HaltAttempt int64
 	Fenced      int
 	DetectTicks int
+	Admission   *wan.AdmissionDecision
 }
 
 // runFailoverScenario drives one row: healthy epochs with standbys tailing,
@@ -78,6 +83,8 @@ func runFailoverScenario(t *testing.T, fc failoverCase) failoverRun {
 	tb.Ctl.Metrics = reg
 	tb.Ctl.Log = log
 	tb.Ctl.Retry = retry
+	tb.Classes = fc.classes
+	tb.StormSignals = fc.storm
 	if _, err := tb.OpenState(dir); err != nil {
 		t.Fatal(err)
 	}
@@ -288,6 +295,7 @@ func runFailoverScenario(t *testing.T, fc failoverCase) failoverRun {
 	for _, a := range tb.Agents {
 		run.Rates = append(run.Rates, a.Rates())
 	}
+	run.Admission = tb.LastAdmission()
 	return run
 }
 
@@ -356,6 +364,18 @@ var failoverMatrix = []failoverCase{
 		agentSpec: Spec{Seed: 4321, Drop: 0.10, DelayProb: 0.3,
 			DelayMin: 200 * time.Microsecond, DelayMax: time.Millisecond},
 		maxTicks:     5,
+		wantPromoted: 1, wantWarm: true, wantEpoch: 1, wantMirror: true, wantReassert: true,
+	},
+	{
+		// F9: storm + failover. The leader dies mid-epoch while a
+		// degradation storm has a second fiber calibrated high and the
+		// class-aware ladder is admitting per tier; the promoted standby
+		// replays the same storm reaction, and the per-class admission
+		// decisions (captured in Admission and the event lines) must be
+		// bit-identical on replay.
+		name: "F9_storm_failover", standbys: 2, epochs: 1, crashBudget: 2, maxTicks: 5,
+		classes:      te.DefaultClassSpec(),
+		storm:        []core.DegradationSignal{{Fiber: 1, PNN: 0.7}},
 		wantPromoted: 1, wantWarm: true, wantEpoch: 1, wantMirror: true, wantReassert: true,
 	},
 }

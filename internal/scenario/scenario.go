@@ -57,6 +57,9 @@ type Options struct {
 	// scenario, which is always kept).
 	Cutoff float64
 	// MaxFailures caps the number of simultaneously cut fibers (>= 1).
+	// Enumeration materializes up to triple failures: 1 yields singles, 2
+	// adds doubles, and >= 3 adds triples (needed when a degradation storm
+	// calibrates several fibers to high probability at once).
 	MaxFailures int
 	// MaxScenarios caps the set size, keeping the most probable.
 	MaxScenarios int

@@ -104,9 +104,36 @@ func EnumerateSharded(probs []float64, opts Options, shards, parallelism int) (*
 			}
 		}
 	}
-	// triples and beyond are omitted: their mass is far below any cutoff
-	// that keeps the optimization tractable, mirroring the paper's cutoff
-	// selection.
+	// Triple failures are enumerated only when MaxFailures >= 3. Under the
+	// paper's quiet-epoch probabilities their mass is far below any
+	// tractable cutoff (hence the default of 2), but a degradation storm
+	// calibrates several fibers to high probability at once, where the
+	// triples carry percent-level mass that beta-feasibility needs. The
+	// sweep is serial: storm-sized inputs keep n small, and the pair sweep
+	// above still dominates on large topologies with the default options.
+	if opts.MaxFailures >= 3 && n >= 3 {
+		for i := 0; i < n; i++ {
+			if probs[i] <= 0 {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if probs[j] <= 0 {
+					continue
+				}
+				for k := j + 1; k < n; k++ {
+					p := scenProb(i, j, k)
+					if p >= opts.Cutoff && p > 0 {
+						out = append(out, Scenario{
+							Cut:  []topology.FiberID{topology.FiberID(i), topology.FiberID(j), topology.FiberID(k)},
+							Prob: p,
+						})
+					}
+				}
+			}
+		}
+	}
+	// Quadruples and beyond are omitted: even storm calibrations leave
+	// their mass below the cutoffs that keep the optimization tractable.
 	return finishSet(out, opts), nil
 }
 

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"prete/internal/core"
+	"prete/internal/routing"
+	"prete/internal/scenario"
+	"prete/internal/te"
+	"prete/internal/topology"
+)
+
+// ClassedAvailability is a per-tier availability vector: one Availability
+// summary per SLO tier, in spec order.
+type ClassedAvailability struct {
+	Tiers   []string
+	PerTier []Availability
+}
+
+// StormFibers returns the k most degradation-prone fibers (ties broken by
+// fiber index), the deterministic storm set the sloclass experiment
+// degrades simultaneously.
+func (e *Env) StormFibers(k int) []int {
+	idx := make([]int, len(e.PD))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if e.PD[idx[a]] != e.PD[idx[b]] {
+			return e.PD[idx[a]] > e.PD[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := append([]int(nil), idx[:k]...)
+	sort.Ints(out)
+	return out
+}
+
+// stormProbs is the truth distribution conditioned on a degradation storm:
+// every storm fiber fails with PCutGivenDeg, every other fiber with the
+// Theorem 4.1 residual probability.
+func (ev *Evaluator) stormProbs(storm []int) []float64 {
+	probs := make([]float64, len(ev.Env.PI))
+	for i, p := range ev.Env.PI {
+		probs[i] = (1 - ev.Cfg.Alpha) * p
+	}
+	for _, f := range storm {
+		probs[f] = ev.Cfg.PCutGivenDeg
+	}
+	return probs
+}
+
+// stormSignals is the degradation-signal set a predictor-driven scheme
+// sees during the storm: one signal per storm fiber at the predictor's
+// conditional-failure output.
+func (ev *Evaluator) stormSignals(storm []int) []core.DegradationSignal {
+	sigs := make([]core.DegradationSignal, len(storm))
+	for i, f := range storm {
+		sigs[i] = core.DegradationSignal{Fiber: topology.FiberID(f), PNN: ev.Quality.clampPHat(ev.Quality.PHatFail)}
+	}
+	return sigs
+}
+
+// EvaluateStormUniform measures a uniform (classless) scheme's availability
+// conditioned on a degradation storm: the scheme plans one epoch with the
+// storm's signals (ignored by TeaVar), and the plan is integrated over the
+// storm-conditioned failure distribution. Scheme names: PreTE, TeaVar. An
+// empty storm is a quiet epoch.
+func (ev *Evaluator) EvaluateStormUniform(schemeName string, scale float64, storm []int) (Availability, error) {
+	demands := ev.Env.BaseDemands.Scale(scale)
+	plan, _, err := ev.stormPlan(schemeName, demands, storm)
+	if err != nil {
+		return Availability{}, err
+	}
+	perFlow, err := ev.stormIntegrate(storm, func(f routing.FlowID, cut map[topology.FiberID]bool) bool {
+		return te.Satisfied(plan, f, demands[f], cut)
+	})
+	if err != nil {
+		return Availability{}, err
+	}
+	return summarize(perFlow), nil
+}
+
+// EvaluateStormClassed measures PreTE with per-class demands under a
+// degradation storm: one strict-priority classed epoch plan, then each
+// tier's plan is judged against its own demand split over the
+// storm-conditioned failure distribution. The returned epoch plan carries
+// the per-tier solver results (the provable-residual accounting the
+// sloclass experiment asserts on). Deterministic at any Cfg.Parallelism.
+func (ev *Evaluator) EvaluateStormClassed(scale float64, storm []int, spec *te.ClassSpec) (ClassedAvailability, *core.ClassedEpochPlan, error) {
+	demands := ev.Env.BaseDemands.Scale(scale)
+	p := ev.stormScheme("PreTE")
+	ep, err := p.PlanEpochClassed(core.EpochInput{
+		Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
+		Beta: ev.Cfg.Beta, PI: ev.Env.PI,
+		Signals: ev.stormSignals(storm),
+	}, spec)
+	if err != nil {
+		return ClassedAvailability{}, nil, err
+	}
+	out := ClassedAvailability{}
+	for k, tier := range ep.Classed.Tiers {
+		plan := ep.Plans[k]
+		split := tier.Demands
+		perFlow, err := ev.stormIntegrate(storm, func(f routing.FlowID, cut map[topology.FiberID]bool) bool {
+			return te.Satisfied(plan, f, split[f], cut)
+		})
+		if err != nil {
+			return ClassedAvailability{}, nil, err
+		}
+		out.Tiers = append(out.Tiers, tier.Name)
+		out.PerTier = append(out.PerTier, summarize(perFlow))
+	}
+	return out, ep, nil
+}
+
+// stormScheme builds the planning scheme for storm evaluation.
+func (ev *Evaluator) stormScheme(schemeName string) *core.PreTE {
+	var p *core.PreTE
+	if schemeName == "TeaVar" {
+		p = core.NewTeaVar()
+	} else {
+		p = core.New()
+	}
+	p.ScenarioOpts = ev.Cfg.ScenarioOpts
+	if p.Alpha > 0 {
+		p.Alpha = ev.Cfg.Alpha
+	}
+	p.Opt.Metrics = ev.Cfg.Metrics
+	p.Opt.BudgetUnits = ev.Cfg.SolveBudget
+	p.Opt.Parallelism = ev.Cfg.Parallelism
+	return p
+}
+
+// stormPlan computes one uniform epoch plan under the storm's signals.
+func (ev *Evaluator) stormPlan(schemeName string, demands te.Demands, storm []int) (*te.Plan, *core.EpochPlan, error) {
+	switch schemeName {
+	case "PreTE", "TeaVar":
+	default:
+		return nil, nil, fmt.Errorf("sim: unknown storm scheme %q (want PreTE or TeaVar)", schemeName)
+	}
+	p := ev.stormScheme(schemeName)
+	ep, err := p.PlanEpoch(core.EpochInput{
+		Net: ev.Env.Net, Tunnels: ev.Env.Tunnels, Demands: demands,
+		Beta: ev.Cfg.Beta, PI: ev.Env.PI,
+		Signals: ev.stormSignals(storm),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ep.Plan, ep, nil
+}
+
+// stormIntegrate integrates a per-flow satisfaction predicate over the
+// storm-conditioned failure distribution, returning the per-flow
+// availability vector. The un-enumerated failure tail counts as loss, as
+// in the main evaluation loop.
+func (ev *Evaluator) stormIntegrate(storm []int, ok func(f routing.FlowID, cut map[topology.FiberID]bool) bool) ([]float64, error) {
+	fs, err := ev.enumerate(ev.stormProbs(storm))
+	if err != nil {
+		return nil, err
+	}
+	ev.metrics().scenarios.Add(int64(len(fs.Scenarios)))
+	return ev.integrateScenarios(fs, len(ev.Env.Tunnels.Flows), func(q scenario.Scenario, row []float64) error {
+		cut := q.CutSet()
+		for fi := range row {
+			if ok(routing.FlowID(fi), cut) {
+				row[fi] += q.Prob
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,208 @@
+package te
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// TierPolicy says what the admission ladder does with a tier's residual
+// (the provably-uncarriable fraction of its demand) during a degradation
+// episode.
+type TierPolicy string
+
+// The three ladder actions, ordered from most to least protective.
+const (
+	// PolicyProtect admits the tier's full offered demand; its residual is
+	// carried degraded rather than shed (latency-critical traffic).
+	PolicyProtect TierPolicy = "protect"
+	// PolicyDefer holds the residual back as backlog and re-offers it next
+	// epoch (standard traffic).
+	PolicyDefer TierPolicy = "defer"
+	// PolicyShed drops the residual outright (sheddable traffic).
+	PolicyShed TierPolicy = "shed"
+)
+
+func validPolicy(p TierPolicy) bool {
+	return p == PolicyProtect || p == PolicyDefer || p == PolicyShed
+}
+
+// Tier is one SLO class. Every flow carries every tier: a tier owns a fixed
+// Share of each flow's demand (production flows aggregate millions of users,
+// so each flow mixes all classes).
+type Tier struct {
+	// Name identifies the tier in events, metrics, and reports.
+	Name string
+	// Share is the fraction of every flow's demand in this tier, in (0, 1].
+	Share float64
+	// Weight is the tier's objective weight; higher means more valuable.
+	Weight float64
+	// Policy is the ladder action for the tier's uncarriable residual.
+	Policy TierPolicy
+}
+
+// ClassSpec is an ordered list of SLO tiers, highest priority first. The
+// classed solve allocates capacity strictly in tier order, and the admission
+// ladder walks the same order when shedding.
+type ClassSpec struct {
+	Tiers []Tier
+}
+
+// MaxTiers bounds the number of tiers a spec may declare.
+const MaxTiers = 16
+
+// DefaultClassSpec returns the three-tier production split used by the
+// sloclass experiment and `-classes default`: 20% latency-critical
+// (protected), 50% standard (deferrable), 30% sheddable.
+func DefaultClassSpec() *ClassSpec {
+	return &ClassSpec{Tiers: []Tier{
+		{Name: "lc", Share: 0.2, Weight: 100, Policy: PolicyProtect},
+		{Name: "std", Share: 0.5, Weight: 10, Policy: PolicyDefer},
+		{Name: "bulk", Share: 0.3, Weight: 1, Policy: PolicyShed},
+	}}
+}
+
+// UniformClassSpec returns the degenerate single-tier spec: all traffic in
+// one class. It is valid but reports Enabled() == false, so every consumer
+// takes the exact uniform code path — byte-identical to running with no
+// spec at all.
+func UniformClassSpec() *ClassSpec {
+	return &ClassSpec{Tiers: []Tier{
+		{Name: "all", Share: 1, Weight: 1, Policy: PolicyShed},
+	}}
+}
+
+// ParseClassSpec parses the -classes flag syntax: a comma-separated list of
+// name:share:weight[:policy] tiers, highest priority first.
+//
+//	lc:0.2:100:protect,std:0.5:10:defer,bulk:0.3:1:shed
+//
+// Shares must be finite, positive, and sum to 1 (within 1e-6); weights must
+// be finite and positive; names must be unique. The policy defaults to
+// "defer" when omitted. The shorthand "default" parses to
+// DefaultClassSpec(); the empty string parses to a nil spec (classes
+// disabled).
+func ParseClassSpec(s string) (*ClassSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if s == "default" {
+		return DefaultClassSpec(), nil
+	}
+	var spec ClassSpec
+	for _, clause := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(clause), ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("te: tier %q is not name:share:weight[:policy]", clause)
+		}
+		t := Tier{Name: parts[0], Policy: PolicyDefer}
+		var err error
+		if t.Share, err = parseTierNum("share", parts[1]); err != nil {
+			return nil, err
+		}
+		if t.Weight, err = parseTierNum("weight", parts[2]); err != nil {
+			return nil, err
+		}
+		if len(parts) == 4 {
+			t.Policy = TierPolicy(parts[3])
+		}
+		spec.Tiers = append(spec.Tiers, t)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+func parseTierNum(field, val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return 0, fmt.Errorf("te: tier %s %q is not a positive finite number", field, val)
+	}
+	return v, nil
+}
+
+// Validate checks the spec's structural consistency: 1..MaxTiers uniquely
+// named tiers, positive finite shares summing to 1 (within 1e-6), positive
+// finite weights, and known policies.
+func (cs *ClassSpec) Validate() error {
+	if cs == nil || len(cs.Tiers) == 0 {
+		return fmt.Errorf("te: class spec has no tiers")
+	}
+	if len(cs.Tiers) > MaxTiers {
+		return fmt.Errorf("te: %d tiers exceeds the maximum of %d", len(cs.Tiers), MaxTiers)
+	}
+	seen := make(map[string]bool, len(cs.Tiers))
+	var sum float64
+	for _, t := range cs.Tiers {
+		if t.Name == "" || strings.ContainsAny(t.Name, ":, \t\n") {
+			return fmt.Errorf("te: tier name %q is empty or contains separators", t.Name)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("te: duplicate tier %q", t.Name)
+		}
+		seen[t.Name] = true
+		if math.IsNaN(t.Share) || t.Share <= 0 || t.Share > 1 {
+			return fmt.Errorf("te: tier %s share %v out of (0, 1]", t.Name, t.Share)
+		}
+		if math.IsNaN(t.Weight) || math.IsInf(t.Weight, 0) || t.Weight <= 0 {
+			return fmt.Errorf("te: tier %s weight %v is not positive and finite", t.Name, t.Weight)
+		}
+		if !validPolicy(t.Policy) {
+			return fmt.Errorf("te: tier %s policy %q (want protect, defer, or shed)", t.Name, t.Policy)
+		}
+		sum += t.Share
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("te: tier shares sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Enabled reports whether the spec actually splits traffic: nil specs and
+// single-tier specs are "classes disabled", and every consumer must take
+// the exact uniform code path for them.
+func (cs *ClassSpec) Enabled() bool {
+	return cs != nil && len(cs.Tiers) > 1
+}
+
+// String renders the spec back into ParseClassSpec syntax (empty for nil);
+// ParseClassSpec(spec.String()) round-trips for valid specs.
+func (cs *ClassSpec) String() string {
+	if cs == nil {
+		return ""
+	}
+	parts := make([]string, len(cs.Tiers))
+	for i, t := range cs.Tiers {
+		parts[i] = fmt.Sprintf("%s:%g:%g:%s", t.Name, t.Share, t.Weight, t.Policy)
+	}
+	return strings.Join(parts, ",")
+}
+
+// SplitDemands partitions a demand matrix across the tiers: tier k of flow
+// f offers Share_k * d[f], except the last tier, which takes the exact
+// remainder so the per-flow pieces re-sum to the original demand without
+// accumulating rounding drift.
+func (cs *ClassSpec) SplitDemands(d Demands) []Demands {
+	out := make([]Demands, len(cs.Tiers))
+	for k := range cs.Tiers {
+		out[k] = make(Demands, len(d))
+	}
+	last := len(cs.Tiers) - 1
+	for f, v := range d {
+		var used float64
+		for k := 0; k < last; k++ {
+			piece := v * cs.Tiers[k].Share
+			out[k][f] = piece
+			used += piece
+		}
+		rem := v - used
+		if rem < 0 {
+			rem = 0
+		}
+		out[last][f] = rem
+	}
+	return out
+}

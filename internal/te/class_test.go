@@ -1,0 +1,150 @@
+package te
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseClassSpecDefault(t *testing.T) {
+	spec, err := ParseClassSpec("default")
+	if err != nil {
+		t.Fatalf("ParseClassSpec(default): %v", err)
+	}
+	want := DefaultClassSpec()
+	if len(spec.Tiers) != len(want.Tiers) {
+		t.Fatalf("got %d tiers, want %d", len(spec.Tiers), len(want.Tiers))
+	}
+	for i, tier := range spec.Tiers {
+		if tier != want.Tiers[i] {
+			t.Errorf("tier %d = %+v, want %+v", i, tier, want.Tiers[i])
+		}
+	}
+	if !spec.Enabled() {
+		t.Error("default spec should be enabled")
+	}
+}
+
+func TestParseClassSpecEmpty(t *testing.T) {
+	spec, err := ParseClassSpec("  ")
+	if err != nil || spec != nil {
+		t.Fatalf("empty spec: got (%v, %v), want (nil, nil)", spec, err)
+	}
+	if spec.Enabled() {
+		t.Error("nil spec should not be enabled")
+	}
+}
+
+func TestParseClassSpecExplicit(t *testing.T) {
+	spec, err := ParseClassSpec("gold:0.25:8:protect, silver:0.75:2")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := len(spec.Tiers); got != 2 {
+		t.Fatalf("got %d tiers, want 2", got)
+	}
+	if spec.Tiers[0] != (Tier{Name: "gold", Share: 0.25, Weight: 8, Policy: PolicyProtect}) {
+		t.Errorf("tier 0 = %+v", spec.Tiers[0])
+	}
+	// Omitted policy defaults to defer.
+	if spec.Tiers[1].Policy != PolicyDefer {
+		t.Errorf("tier 1 policy = %q, want defer", spec.Tiers[1].Policy)
+	}
+}
+
+func TestParseClassSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, in, frag string
+	}{
+		{"malformed", "lc:0.2", "name:share:weight"},
+		{"too many fields", "lc:0.2:1:shed:extra", "name:share:weight"},
+		{"bad share", "lc:zero:1:shed", "share"},
+		{"zero share", "lc:0:1:shed,std:1:1:shed", "share"},
+		{"negative share", "lc:-0.5:1:shed,std:1.5:1:shed", "share"},
+		{"nan share", "lc:NaN:1:shed,std:1:1:shed", "share"},
+		{"inf weight", "lc:0.5:Inf:shed,std:0.5:1:shed", "weight"},
+		{"zero weight", "lc:0.5:0:shed,std:0.5:1:shed", "weight"},
+		{"duplicate tier", "lc:0.5:1:shed,lc:0.5:1:shed", "duplicate"},
+		{"bad policy", "lc:0.5:1:drop,std:0.5:1:shed", "policy"},
+		{"shares sum low", "lc:0.2:1:shed,std:0.2:1:shed", "sum"},
+		{"shares sum high", "lc:0.9:1:shed,std:0.9:1:shed", "sum"},
+		{"empty name", ":0.5:1:shed,std:0.5:1:shed", "name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := ParseClassSpec(tc.in)
+			if err == nil {
+				t.Fatalf("ParseClassSpec(%q) = %+v, want error", tc.in, spec)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestClassSpecTooManyTiers(t *testing.T) {
+	var spec ClassSpec
+	for i := 0; i < MaxTiers+1; i++ {
+		spec.Tiers = append(spec.Tiers, Tier{
+			Name: string(rune('a' + i)), Share: 1 / float64(MaxTiers+1), Weight: 1, Policy: PolicyShed,
+		})
+	}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "maximum") {
+		t.Fatalf("Validate() = %v, want max-tiers error", err)
+	}
+}
+
+func TestClassSpecStringRoundTrip(t *testing.T) {
+	for _, spec := range []*ClassSpec{DefaultClassSpec(), UniformClassSpec()} {
+		again, err := ParseClassSpec(spec.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", spec.String(), err)
+		}
+		if again.String() != spec.String() {
+			t.Errorf("round-trip: %q != %q", again.String(), spec.String())
+		}
+	}
+	if s := (*ClassSpec)(nil).String(); s != "" {
+		t.Errorf("nil String() = %q, want empty", s)
+	}
+}
+
+func TestUniformClassSpecDisabled(t *testing.T) {
+	spec := UniformClassSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("uniform spec invalid: %v", err)
+	}
+	if spec.Enabled() {
+		t.Error("single-tier spec must report classes disabled")
+	}
+}
+
+func TestSplitDemands(t *testing.T) {
+	spec := DefaultClassSpec()
+	d := Demands{50, 0, 123.456}
+	split := spec.SplitDemands(d)
+	if len(split) != 3 {
+		t.Fatalf("got %d tiers, want 3", len(split))
+	}
+	for f, v := range d {
+		var sum float64
+		for k := range split {
+			if split[k][f] < 0 {
+				t.Errorf("tier %d flow %d negative: %v", k, f, split[k][f])
+			}
+			sum += split[k][f]
+		}
+		if math.Abs(sum-v) > 1e-9 {
+			t.Errorf("flow %d pieces sum to %v, want %v", f, sum, v)
+		}
+	}
+	// The high-priority tier owns its exact share.
+	if got, want := split[0][0], 50*0.2; got != want {
+		t.Errorf("lc share of flow 0 = %v, want %v", got, want)
+	}
+	// The last tier takes the remainder, so re-summing is drift-free.
+	if got := split[0][2] + split[1][2] + split[2][2]; got != d[2] {
+		t.Errorf("flow 2 re-sum = %v, want exactly %v", got, d[2])
+	}
+}

@@ -1,0 +1,66 @@
+package te
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseClassSpec drives the -classes parser with arbitrary strings. The
+// parser must never panic; every accepted spec must validate, stay within
+// the tier bound, and round-trip through String() to an equivalent spec
+// (same rendering, same validation verdict).
+func FuzzParseClassSpec(f *testing.F) {
+	f.Add("")
+	f.Add("default")
+	f.Add("lc:0.2:100:protect,std:0.5:10:defer,bulk:0.3:1:shed")
+	f.Add("gold:0.25:8:protect, silver:0.75:2")
+	f.Add("lc:NaN:1:shed,std:1:1:shed")
+	f.Add("lc:0.5:Inf:shed,std:0.5:1:shed")
+	f.Add("lc:0.5:1:shed,lc:0.5:1:shed")
+	f.Add("a:0:1,b:1:1")
+	f.Add("a:-1:1:shed,b:2:1:shed")
+	f.Add("x:1e-300:1:protect,y:1:1:shed")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseClassSpec(s)
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("error %v with non-nil spec", err)
+			}
+			return
+		}
+		if spec == nil {
+			if strings.TrimSpace(s) != "" {
+				t.Fatalf("nil spec without error for %q", s)
+			}
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails Validate: %v (input %q)", err, s)
+		}
+		if len(spec.Tiers) > MaxTiers {
+			t.Fatalf("accepted %d tiers (max %d)", len(spec.Tiers), MaxTiers)
+		}
+		rendered := spec.String()
+		again, err := ParseClassSpec(rendered)
+		if err != nil {
+			t.Fatalf("String() %q does not re-parse: %v", rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("round-trip drift: %q -> %q", rendered, again.String())
+		}
+		// SplitDemands on an accepted spec must conserve demand.
+		split := spec.SplitDemands(Demands{10, 0, 3.5})
+		for f := 0; f < 3; f++ {
+			var sum float64
+			for k := range split {
+				if split[k][f] < 0 {
+					t.Fatalf("negative split tier=%d flow=%d: %v", k, f, split[k][f])
+				}
+				sum += split[k][f]
+			}
+			if d := []float64{10, 0, 3.5}[f]; sum < d-1e-6 || sum > d+1e-6 {
+				t.Fatalf("flow %d split sums to %v, want %v", f, sum, d)
+			}
+		}
+	})
+}

@@ -71,6 +71,19 @@ type Testbed struct {
 	// TE solve (the -budget UNITS:TIMEOUT CLI form). It overrides the
 	// TEPeriod derivation.
 	SolveTimeout time.Duration
+	// Classes, when non-nil and enabled (multi-tier), switches the reaction
+	// round onto the class-aware ladder: a strict-priority classed solve
+	// (one Benders solve per tier against residual capacity, each under
+	// SolveUnits) followed by the predictive admission/shedding stage. A
+	// nil or single-tier spec takes the exact uniform code path — every
+	// output is byte-identical to a classless testbed (pinned by
+	// TestClassesDisabledByteIdentity).
+	Classes *te.ClassSpec
+	// StormSignals are extra degraded fibers mixed into every reaction
+	// round's Eqn. 1 calibration — the degradation-storm model the F9
+	// failover row and the sloclass chaos coupling use. Empty leaves the
+	// calibration exactly as before (only the detected fiber degraded).
+	StormSignals []core.DegradationSignal
 
 	// opt and solveCache are the persistent TE solver and its cross-epoch
 	// warm-start cache (lazily built by solver): successive reaction rounds
@@ -78,6 +91,12 @@ type Testbed struct {
 	// warm restart from the journaled probability vector.
 	opt        *core.Optimizer
 	solveCache *core.SolveCache
+	// tierCaches and adm are the classed-path analogues: one warm-start
+	// cache per tier (tier inputs have distinct fingerprints) and the
+	// admission ladder's in-memory state. Like the solver cache, both are
+	// process state: a restart or failover drops them.
+	tierCaches []*core.SolveCache
+	adm        *Admission
 }
 
 // solveDeadline resolves the round's wall-clock solve ceiling: an explicit
@@ -103,6 +122,36 @@ func (tb *Testbed) solver() (*core.Optimizer, *core.SolveCache) {
 	tb.opt.SolveTimeout = tb.solveDeadline()
 	tb.opt.Metrics = tb.Ctl.Metrics
 	return tb.opt, tb.solveCache
+}
+
+// classedCaches returns the per-tier warm-start caches, (re)built when the
+// spec's tier count changes.
+func (tb *Testbed) classedCaches() []*core.SolveCache {
+	if len(tb.tierCaches) != len(tb.Classes.Tiers) {
+		tb.tierCaches = make([]*core.SolveCache, len(tb.Classes.Tiers))
+		for i := range tb.tierCaches {
+			tb.tierCaches[i] = &core.SolveCache{}
+		}
+	}
+	return tb.tierCaches
+}
+
+// admissionLadder returns the testbed's admission stage, building it on
+// first use against the active controller's metrics and event log.
+func (tb *Testbed) admissionLadder() *Admission {
+	if tb.adm == nil {
+		tb.adm = NewAdmission(tb.Classes, tb.Ctl.Metrics, tb.Ctl.Log)
+	}
+	return tb.adm
+}
+
+// LastAdmission returns the most recent admission decision (nil before the
+// first classed reaction round, and always nil with classes disabled).
+func (tb *Testbed) LastAdmission() *AdmissionDecision {
+	if tb.adm == nil {
+		return nil
+	}
+	return tb.adm.Last()
 }
 
 // SolveCacheStats reports the warm-start cache counters of the testbed's
@@ -325,10 +374,16 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 	}
 	timing.TunnelUpdate = time.Since(t0)
 
-	// Failure-scenario regeneration (Eqn. 1 + enumeration).
+	// Failure-scenario regeneration (Eqn. 1 + enumeration). StormSignals
+	// mix extra degraded fibers into the calibration; with none configured
+	// the map is exactly the single detected fiber, as before.
 	t0 = time.Now()
 	tb.Ctl.Log.Addf("stage scenario-regen")
-	probs, err := scenario.Calibrated(tb.PI, map[topology.FiberID]float64{0: pNN}, 0.25)
+	degradedFibers := map[topology.FiberID]float64{0: pNN}
+	for _, s := range tb.StormSignals {
+		degradedFibers[s.Fiber] = s.PNN
+	}
+	probs, err := scenario.Calibrated(tb.PI, degradedFibers, 0.25)
 	if err != nil {
 		return nil, err
 	}
@@ -348,25 +403,55 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 	t0 = time.Now()
 	tb.Ctl.Log.Addf("stage te-compute")
 	opt, cache := tb.solver()
-	res, err := opt.SolveCached(&te.Input{
+	teIn := &te.Input{
 		Net: tb.Net, Tunnels: planTunnels,
 		Demands:   te.Demands{50, 50},
 		Scenarios: set, Beta: 0.99,
-	}, cache)
-	if err != nil {
-		return nil, err
 	}
-	if res.Truncated {
-		timing.SolveTruncated = true
-		tb.Ctl.Metrics.Counter("wan.solve.truncated_rounds").Inc()
-		tb.Ctl.Log.Addf("te-solve truncated")
-	}
-	if res.Fallback {
-		// The heuristic plan is valid but unoptimized: record the round as
-		// degraded, like the other ladder rungs.
-		timing.Degraded = true
-		tb.Ctl.Metrics.Counter("wan.solve.fallback_rounds").Inc()
-		tb.Ctl.Log.Addf("te-solve fallback")
+	var alloc te.Allocation
+	var classed *core.ClassedResult
+	if tb.Classes.Enabled() {
+		// Class-aware ladder: strict-priority classed solve. Truncation and
+		// fallback of any tier mark the round exactly as the uniform path
+		// would.
+		classed, err = opt.SolveClassedCached(teIn, tb.Classes, tb.classedCaches())
+		if err != nil {
+			return nil, err
+		}
+		var truncated, fellBack bool
+		for _, tier := range classed.Tiers {
+			truncated = truncated || tier.Res.Truncated
+			fellBack = fellBack || tier.Res.Fallback
+		}
+		if truncated {
+			timing.SolveTruncated = true
+			tb.Ctl.Metrics.Counter("wan.solve.truncated_rounds").Inc()
+			tb.Ctl.Log.Addf("te-solve truncated")
+		}
+		if fellBack {
+			timing.Degraded = true
+			tb.Ctl.Metrics.Counter("wan.solve.fallback_rounds").Inc()
+			tb.Ctl.Log.Addf("te-solve fallback")
+		}
+		alloc = classed.Alloc
+	} else {
+		res, err := opt.SolveCached(teIn, cache)
+		if err != nil {
+			return nil, err
+		}
+		if res.Truncated {
+			timing.SolveTruncated = true
+			tb.Ctl.Metrics.Counter("wan.solve.truncated_rounds").Inc()
+			tb.Ctl.Log.Addf("te-solve truncated")
+		}
+		if res.Fallback {
+			// The heuristic plan is valid but unoptimized: record the round
+			// as degraded, like the other ladder rungs.
+			timing.Degraded = true
+			tb.Ctl.Metrics.Counter("wan.solve.fallback_rounds").Inc()
+			tb.Ctl.Log.Addf("te-solve fallback")
+		}
+		alloc = res.Alloc
 	}
 	timing.TECompute = time.Since(t0)
 
@@ -375,16 +460,35 @@ func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, erro
 	// as degraded rather than failed.
 	t0 = time.Now()
 	tb.Ctl.Log.Addf("stage rate-install")
-	rates := make(map[string]float64, len(res.Alloc))
-	for tid, amt := range res.Alloc {
+	rates := make(map[string]float64, len(alloc))
+	for tid, amt := range alloc {
 		rates[fmt.Sprintf("t%d", tid)] = amt
 	}
-	if _, fellBack, err := tb.Ctl.UpdateRatesWithFallback(rates); err != nil && errors.Is(err, ErrControllerHalted) {
+	_, fellBack, err := tb.Ctl.UpdateRatesWithFallback(rates)
+	if err != nil && errors.Is(err, ErrControllerHalted) {
 		return nil, err
 	} else if fellBack {
 		timing.Degraded = true
 	}
 	timing.RateInstall = time.Since(t0)
+
+	// Predictive admission: with classes enabled, the epoch's per-tier
+	// decision is derived from the classed solve — or, when the rate push
+	// fell back to the previous table, replayed from the previous decision
+	// (the ladder's last-good rung).
+	if classed != nil {
+		adm := tb.admissionLadder()
+		var dec *AdmissionDecision
+		if fellBack {
+			dec = adm.DecideLastGood()
+		}
+		if dec == nil {
+			dec = adm.Decide(classed, true)
+		}
+		if err := dec.Check(); err != nil {
+			return nil, err
+		}
+	}
 
 	// The epoch completed (possibly degraded, but with a consistent plan
 	// installed): journal it — including the scenario-set fingerprint, so
@@ -498,9 +602,12 @@ func (tb *Testbed) RestartController(tr Transport) error {
 	tb.Ctl = ctl
 	// A real restart loses the in-memory solver state too; the warm-start
 	// cache comes back, if at all, through OpenState's journal-driven
-	// priming.
+	// priming. The classed-path state (per-tier caches, admission backlog
+	// and last-good decision) is equally in-memory and equally lost.
 	tb.opt = nil
 	tb.solveCache = nil
+	tb.tierCaches = nil
+	tb.adm = nil
 	return nil
 }
 
@@ -517,6 +624,8 @@ func (tb *Testbed) AdoptPromoted(ctl *Controller) (zombie *Controller) {
 	tb.Ctl = ctl
 	tb.opt = nil
 	tb.solveCache = nil
+	tb.tierCaches = nil
+	tb.adm = nil
 	if len(ctl.LastProbs()) > 0 {
 		tb.primeSolver()
 	}
