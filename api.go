@@ -6,6 +6,7 @@ import (
 	"prete/internal/ml"
 	"prete/internal/obs"
 	"prete/internal/optical"
+	"prete/internal/persist"
 	"prete/internal/routing"
 	"prete/internal/scenario"
 	"prete/internal/sim"
@@ -103,6 +104,34 @@ type (
 	IngestStats = ingest.Stats
 	// IngestFiberEvents is one fiber's events from a stream flush.
 	IngestFiberEvents = ingest.FiberEvents
+
+	// JournalReplicator ships a state directory's journal records and
+	// snapshots to remote appliers with exact shipped/acked/resent
+	// accounting (internal/persist).
+	JournalReplicator = persist.Replicator
+	// JournalApplier applies a replicated record stream into a local state
+	// directory exactly once per sequence number.
+	JournalApplier = persist.Applier
+	// ReplicationStats is a replicator's shipping accounting snapshot
+	// (shipped = acked + inflight + resent).
+	ReplicationStats = persist.ReplStats
+	// JournalTailStats is a journal tailer's poll/record/dead-file
+	// accounting, including files abandoned after corruption.
+	JournalTailStats = persist.TailStats
+
+	// SiteSet manages cross-site standby controllers: journal replication
+	// over the network, time-bounded leases, and fenced failover.
+	SiteSet = wan.SiteSet
+	// SiteOptions tunes a SiteSet.
+	SiteOptions = wan.SiteOptions
+	// SiteStatus is a point-in-time snapshot of one standby site.
+	SiteStatus = wan.SiteStatus
+	// SitePromotion is the outcome of a cross-site takeover.
+	SitePromotion = wan.SitePromotion
+	// LeaderLease is a time-bounded leadership lease on a logical clock.
+	LeaderLease = wan.Lease
+	// LogicalClock is the deterministic tick source leases run on.
+	LogicalClock = wan.LogicalClock
 
 	// MetricsRegistry is the observability registry (internal/obs): a
 	// concurrency-safe set of counters, gauges, histograms, and stage timers
@@ -203,3 +232,21 @@ func DefaultClassSpec() *ClassSpec { return te.DefaultClassSpec() }
 // "name:share:weight[:policy],..." ("default" selects DefaultClassSpec,
 // "" selects nil — classless operation).
 func ParseClassSpec(s string) (*ClassSpec, error) { return te.ParseClassSpec(s) }
+
+// NewSiteSet builds cross-site standby controllers for the leader whose
+// state directory is leaderDir: each site applies the leader's replicated
+// journal into its own directory under sitesRoot and promotes behind a
+// time-bounded lease on leader silence (see internal/wan).
+func NewSiteSet(leaderDir, sitesRoot, leaseAddr string, agents map[string]string, opt SiteOptions) (*SiteSet, error) {
+	return wan.NewSiteSet(leaderDir, sitesRoot, leaseAddr, agents, opt)
+}
+
+// EncodeReplFrame frames one journal record for replication shipping; the
+// wire framing is byte-identical to the on-disk record framing, so a CRC
+// check at the receiver covers both.
+func EncodeReplFrame(seq uint64, body []byte) []byte { return persist.EncodeReplFrame(seq, body) }
+
+// DecodeReplFrame validates and splits a replication frame.
+func DecodeReplFrame(frame []byte) (seq uint64, body []byte, err error) {
+	return persist.DecodeReplFrame(frame)
+}

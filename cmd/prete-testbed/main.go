@@ -11,6 +11,7 @@
 //	prete-testbed -fast -budget 60          # anytime TE solve: 60 work units
 //	prete-testbed -budget 5000:150ms        # units + wall-clock safety net
 //	prete-testbed -fast -state-dir /tmp/st -replicas 3  # leader + 2 journal-tailing standbys
+//	prete-testbed -fast -state-dir /tmp/st -sites 2     # + 2 cross-site replicas fed over the network
 //
 // The -faults spec injects deterministic controller<->agent RPC faults
 // (drop, delay, duplicate, corrupt, partition, crash); see internal/fault
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -49,6 +51,7 @@ func main() {
 		ingestRate   = flag.Int("ingest-rate", 0, "feed the VOA script through the streaming ingest pipeline at this many samples per tick (0 = classic batch detector path)")
 		ingestShards = flag.Int("ingest-shards", 0, "ingest worker shard count when -ingest-rate is set (0 = default)")
 		replicas     = flag.Int("replicas", 1, "controller incarnations: 1 = the classic single controller; N > 1 additionally runs N-1 hot standbys that tail the -state-dir journal and would promote on leader death (requires -state-dir)")
+		sites        = flag.Int("sites", 0, "cross-site standby sites: each owns its own state directory under <state-dir>/sites/, fed by journal replication over the network, and would promote behind a time-bounded lease on leader death (requires -state-dir)")
 		classes      = flag.String("classes", "", "SLO tier spec 'name:share:weight[:policy],...' or 'default' (lc:0.2:100:protect,std:0.5:10:defer,bulk:0.3:1:shed); per-class demands run the strict-priority classed solve and the predictive admission ladder (empty = classless)")
 	)
 	flag.Parse()
@@ -65,6 +68,14 @@ func main() {
 	}
 	if *replicas > 1 && *stateDir == "" {
 		fmt.Fprintln(os.Stderr, "prete-testbed: -replicas > 1 requires -state-dir (standbys tail the shared journal)")
+		os.Exit(2)
+	}
+	if *sites < 0 {
+		fmt.Fprintln(os.Stderr, "prete-testbed: -sites must be >= 0")
+		os.Exit(2)
+	}
+	if *sites > 0 && *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "prete-testbed: -sites requires -state-dir (the replicated journal lives there)")
 		os.Exit(2)
 	}
 
@@ -174,6 +185,35 @@ func main() {
 		fmt.Printf("controller replication: leader + %d hot standby(s) tailing %s\n", *replicas-1, *stateDir)
 	}
 
+	// Cross-site standbys: each site applies the leader's journal stream
+	// into its own directory under <state-dir>/sites/ and renews a
+	// time-bounded lease; on leader death the lowest site would promote from
+	// its own replica, fenced one generation above everything its lease saw.
+	var siteSet *wan.SiteSet
+	if *sites > 0 {
+		siteLease, err := wan.NewLeaseServer(tb.Ctl.Generation)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: site lease: %v\n", err)
+			os.Exit(1)
+		}
+		defer siteLease.Close()
+		agents := make(map[string]string, len(tb.Agents))
+		for _, a := range tb.Agents {
+			agents[a.Name] = a.Addr()
+		}
+		siteSet, err = wan.NewSiteSet(*stateDir, filepath.Join(*stateDir, "sites"), siteLease.Addr(), agents, wan.SiteOptions{
+			Sites:   *sites,
+			Metrics: reg,
+			Log:     tb.Ctl.Log,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: -sites: %v\n", err)
+			os.Exit(1)
+		}
+		defer siteSet.Close()
+		fmt.Printf("cross-site replication: leader + %d standby site(s) under %s\n", *sites, filepath.Join(*stateDir, "sites"))
+	}
+
 	var timing *wan.PipelineTiming
 	if *ingestRate > 0 {
 		var st ingest.Stats
@@ -240,6 +280,25 @@ func main() {
 			}
 			fmt.Printf("  replica %d  %s (heartbeat misses: %d)\n", st.ID, warm, st.Misses)
 		}
+	}
+
+	if siteSet != nil {
+		if _, err := siteSet.Tick(); err != nil {
+			fmt.Fprintf(os.Stderr, "prete-testbed: site tick: %v\n", err)
+			os.Exit(1)
+		}
+		rs := siteSet.ReplStats()
+		fmt.Println("\nCross-site replica mirrors:")
+		for _, st := range siteSet.Status() {
+			warm := "cold"
+			if st.Epoch > 0 {
+				warm = fmt.Sprintf("warm @ epoch %d", st.Epoch)
+			}
+			fmt.Printf("  site %d  %s (applied seq %d, lease %d tick(s) left, %d snapshot re-sync(s))\n",
+				st.ID, warm, st.Applied, st.LeaseRemaining, st.Resyncs)
+		}
+		fmt.Printf("  stream: %d shipped = %d acked + %d in flight (+%d resent)\n",
+			rs.Shipped, rs.Acked, rs.Inflight, rs.Resent)
 	}
 
 	counts := []int{1, 5, 10, 20}

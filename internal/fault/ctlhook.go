@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"sync"
+	"time"
+
+	"prete/internal/wan"
+)
+
+// CtlHook wraps a wan.Transport and fires a callback once, immediately
+// before a deterministic global RPC attempt number — the same
+// counted-attempt timebase CtlCrash uses, so "promote a standby while the
+// leader is mid-epoch" (matrix row F12) is expressed as an exact point in
+// the leader's RPC sequence and replays bit-identically. The hooked attempt
+// itself then proceeds: the callback races nothing, it is ordered strictly
+// before the attempt.
+type CtlHook struct {
+	inner wan.Transport
+
+	mu       sync.Mutex
+	at       int64 // fire before this 1-based attempt; 0 = disarmed
+	fn       func()
+	attempts int64
+	fired    bool
+}
+
+// NewCtlHook wraps inner, disarmed.
+func NewCtlHook(inner wan.Transport) *CtlHook {
+	return &CtlHook{inner: inner}
+}
+
+// Arm schedules fn to run exactly once, before global RPC attempt number at
+// (1-based) starts. Re-arming replaces the previous hook.
+func (t *CtlHook) Arm(at int64, fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.at = at
+	t.fn = fn
+	t.fired = false
+}
+
+// Fired reports whether the armed hook has run.
+func (t *CtlHook) Fired() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fired
+}
+
+// Attempts returns the global RPC attempt count seen so far.
+func (t *CtlHook) Attempts() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attempts
+}
+
+// tick counts one attempt and returns the callback to run before it, if
+// this is the armed attempt.
+func (t *CtlHook) tick() func() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.attempts++
+	if t.fired || t.at <= 0 || t.attempts < t.at {
+		return nil
+	}
+	t.fired = true
+	return t.fn
+}
+
+// Dial dials through the inner transport and wraps the connection.
+func (t *CtlHook) Dial(name, addr string) (wan.Conn, error) {
+	cn, err := t.inner.Dial(name, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ctlHookConn{inner: cn, t: t}, nil
+}
+
+type ctlHookConn struct {
+	inner wan.Conn
+	t     *CtlHook
+}
+
+func (c *ctlHookConn) RoundTrip(req *wan.Request, timeout time.Duration) (*wan.Response, error) {
+	if fn := c.t.tick(); fn != nil {
+		fn()
+	}
+	return c.inner.RoundTrip(req, timeout)
+}
+
+func (c *ctlHookConn) Close() error { return c.inner.Close() }

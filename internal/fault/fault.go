@@ -294,6 +294,16 @@ func (c *faultConn) RoundTrip(req *wan.Request, timeout time.Duration) (*wan.Res
 		c.inner.Close()
 		return nil, &Injected{Kind: Crash, Peer: c.peer}
 	case Corrupt:
+		if len(req.Frame) > 0 {
+			// Replication streams see in-flight bit errors, not lost
+			// responses: deliver a flipped copy and let the receiver's CRC —
+			// not this injector — be what catches it. The site nacks with a
+			// re-sync request and the shipper falls back to a snapshot.
+			mangled := *req
+			mangled.Frame = append([]byte(nil), req.Frame...)
+			mangled.Frame[len(mangled.Frame)/2] ^= 0xFF
+			return c.inner.RoundTrip(&mangled, timeout)
+		}
 		// The request lands (agent state changes) but the response is lost
 		// to bit errors: the controller sees a transport failure and will
 		// re-send, exercising idempotent re-delivery.

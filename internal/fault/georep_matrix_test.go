@@ -1,0 +1,475 @@
+package fault
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"prete/internal/core"
+	"prete/internal/obs"
+	"prete/internal/optical"
+	"prete/internal/te"
+	"prete/internal/wan"
+)
+
+// georepCase is one row of the cross-site failover matrix F10-F14: an
+// injected failure combination on the *replication* plane (ship streams,
+// lease channel, promotion timing) plus its expected outcome. Unlike the
+// shared-directory F1-F9 rows there is no flock arbiter here — the only
+// split-brain defense is the agents' generation fence, which is exactly
+// what these rows stress.
+type georepCase struct {
+	name        string
+	sites       int
+	epochs      int          // healthy epochs before the failure
+	retain      int          // leader-side replication buffer cap (0 = default)
+	shipSpec    map[int]Spec // per-site replication-stream chaos
+	crashBudget int64        // >= 0: kill the leader mid-epoch; -1: clean death
+	partition   bool         // F11: leader fully partitioned (alive but cut off)
+	secondClaim bool         // F11: a second site claims after the first wins
+	hookOffset  int64        // F12: promote site 1 this many leader RPCs into the next epoch
+	classes     *te.ClassSpec
+	storm       []core.DegradationSignal
+	maxTicks    int
+
+	wantPromoted   int
+	wantWarm       bool
+	wantMirror     bool
+	wantReassert   bool
+	wantMinResyncs int64 // lower bound on snapshot re-syncs the promoted site needed
+	wantFenced     int   // exact count of promotion claims lost at the agents
+}
+
+// georepRun is the full observable outcome of one cross-site failover
+// trace. Two runs of the same row must be reflect.DeepEqual — events, fault
+// histories, final plans, AND the byte content of every replicated state
+// directory (SiteHashes) — the bit-identical replay evidence the roadmap
+// demands for this layer.
+type georepRun struct {
+	Events       []string
+	Faults       []string
+	Rates        []map[string]float64
+	Promoted     int
+	Warm         bool
+	Epoch        uint64
+	MirrorMatch  bool
+	Reasserted   bool
+	Degraded     bool
+	Resyncs      int64
+	DetectTicks  int
+	FencedClaims int
+	Fenced       int
+	HaltAttempt  int64
+	ZombieErr    string
+	Shipped      int64
+	Acked        int64
+	Resent       int64
+	SiteHashes   []string
+	Status       []wan.SiteStatus
+	Admission    *wan.AdmissionDecision
+}
+
+// hashDir digests a state directory: sha256 over every file's relative path
+// and content in sorted order. Journal bytes, snapshot bytes, generation
+// counters — if any durable byte differs between two runs, the digest does.
+func hashDir(t *testing.T, dir string) string {
+	t.Helper()
+	h := sha256.New()
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(h, "%s:%d:", rel, len(b))
+		h.Write(b)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("hash %s: %v", dir, err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// runGeoScenario drives one F10-F14 row: healthy epochs with the leader's
+// journal shipping cross-site, the injected failure, lease expiry and
+// promotion, the post-failover epoch on the adopted lineage, and the zombie
+// fence probe.
+func runGeoScenario(t *testing.T, gc georepCase) georepRun {
+	t.Helper()
+	reg := obs.NewRegistry()
+	log := wan.NewEventLog()
+	dir := t.TempDir()
+	sitesRoot := t.TempDir()
+	retry := wan.RetryPolicy{MaxAttempts: 6, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Jitter: 0.5}
+
+	ct := NewCtlCrash(wan.TCPTransport{}, 0, reg)
+	ct.Disarm()
+	hook := NewCtlHook(ct)
+	tb, err := wan.NewTestbedTransport(fastSwitch(), func(f optical.Features) float64 { return 0.8 }, hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	tb.SolveUnits = 200000
+	tb.Ctl.Metrics = reg
+	tb.Ctl.Log = log
+	tb.Ctl.Retry = retry
+	tb.Classes = gc.classes
+	tb.StormSignals = gc.storm
+	if _, err := tb.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := wan.NewLeaseServer(tb.Ctl.Generation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lease.Close() })
+
+	shipInjs := make(map[int]*Injector)
+	shipFn := func(id int) wan.Transport {
+		spec, ok := gc.shipSpec[id]
+		if !ok {
+			return wan.TCPTransport{}
+		}
+		inj, err := NewInjector(spec, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shipInjs[id] = inj
+		return NewTransport(wan.TCPTransport{}, inj)
+	}
+	agents := make(map[string]string, len(tb.Agents))
+	for _, a := range tb.Agents {
+		agents[a.Name] = a.Addr()
+	}
+	const leaseTicks = 3
+	ss, err := wan.NewSiteSet(dir, sitesRoot, lease.Addr(), agents, wan.SiteOptions{
+		Sites:            gc.sites,
+		LeaseTicks:       leaseTicks,
+		HeartbeatTimeout: 100 * time.Millisecond,
+		RetainRecords:    gc.retain,
+		Transport:        wan.TCPTransport{},
+		Ship:             shipFn,
+		Retry:            retry,
+		Metrics:          reg,
+		Log:              log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ss.Close() })
+
+	var run georepRun
+	tick := func() *wan.SitePromotion {
+		p, err := ss.Tick()
+		if err != nil {
+			if !errors.Is(err, wan.ErrClaimFenced) {
+				t.Fatalf("tick: %v", err)
+			}
+			run.FencedClaims++
+		}
+		return p
+	}
+
+	// Healthy phase: the leader journals epochs, each Tick ships them
+	// cross-site and renews every site's lease.
+	for e := 0; e < gc.epochs; e++ {
+		if _, err := tb.RunScenario(7); err != nil {
+			t.Fatalf("healthy epoch %d: %v", e+1, err)
+		}
+		if p := tick(); p != nil {
+			t.Fatalf("promotion while the leader is alive: %+v", p)
+		}
+	}
+
+	// The injected failure, then detection and hand-off.
+	var prom *wan.SitePromotion
+	switch {
+	case gc.hookOffset > 0:
+		// F12: all leases lapse (the clock jumps a full duration with no
+		// renewing tick) and the promotion fires at an exact point inside
+		// the leader's next epoch — the claim races a live solve.
+		ss.Clock().Advance(leaseTicks + 1)
+		var hookErr error
+		hook.Arm(hook.Attempts()+gc.hookOffset, func() {
+			prom, hookErr = ss.Promote(1)
+		})
+		if _, zerr := tb.RunScenario(7); zerr != nil {
+			run.ZombieErr = zerr.Error()
+		}
+		if hookErr != nil {
+			t.Fatalf("mid-epoch promotion: %v", hookErr)
+		}
+		if prom == nil || !hook.Fired() {
+			t.Fatalf("promotion hook never fired (fired=%v)", hook.Fired())
+		}
+	case gc.partition:
+		// F11: the leader is alive but fully partitioned from the lease
+		// endpoint and every site. Sites see only silence.
+		ss.SetLeaderReachable(false)
+		lease.Close()
+		start := time.Now()
+		for i := 0; i < gc.maxTicks && prom == nil; i++ {
+			run.DetectTicks++
+			prom = tick()
+		}
+		if prom == nil {
+			t.Fatalf("no promotion within %d ticks", gc.maxTicks)
+		}
+		if detect := time.Since(start); detect >= tePeriod {
+			t.Errorf("detection + hand-off took %v, bound is one TE period (%v)", detect, tePeriod)
+		}
+	default:
+		if gc.crashBudget >= 0 {
+			ct.Arm(gc.crashBudget)
+			if _, err := tb.RunScenario(7); !errors.Is(err, wan.ErrControllerHalted) {
+				t.Fatalf("mid-epoch crash budget %d: err = %v, want ErrControllerHalted", gc.crashBudget, err)
+			}
+			run.HaltAttempt = ct.Attempts()
+		}
+		lease.Close()
+		if err := tb.Ctl.ReleaseState(); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < gc.maxTicks && prom == nil; i++ {
+			run.DetectTicks++
+			prom = tick()
+		}
+		if prom == nil {
+			t.Fatalf("no promotion within %d ticks", gc.maxTicks)
+		}
+		if detect := time.Since(start); detect >= tePeriod {
+			t.Errorf("detection + hand-off took %v, bound is one TE period (%v)", detect, tePeriod)
+		}
+	}
+	if prom.Elapsed >= tePeriod {
+		t.Errorf("promotion alone took %v, bound is %v", prom.Elapsed, tePeriod)
+	}
+	run.Promoted = prom.SiteID
+	run.Warm = prom.Recovery.Warm
+	run.Epoch = prom.Recovery.Epoch
+	run.MirrorMatch = prom.MirrorMatch
+	run.Reasserted = prom.Reasserted
+	run.Degraded = prom.Degraded
+	run.Resyncs = prom.Resyncs
+
+	if gc.secondClaim {
+		// F11's second claimant: its lease has lapsed too, so the claim is
+		// locally legal — only the agents' equal-generation tie-break can
+		// stop it, and must.
+		if _, cerr := ss.Promote(2); !errors.Is(cerr, wan.ErrClaimFenced) {
+			t.Fatalf("second claimant: err = %v, want ErrClaimFenced", cerr)
+		}
+		run.FencedClaims++
+	}
+	if gc.partition {
+		// The partitioned zombie runs a full epoch. Every state-bearing RPC
+		// it sends is stale-generation; no agent may install its plan.
+		pre := make([]map[string]float64, len(tb.Agents))
+		for i, a := range tb.Agents {
+			pre[i] = a.Rates()
+		}
+		if _, zerr := tb.RunScenario(7); zerr != nil {
+			run.ZombieErr = zerr.Error()
+		}
+		for i, a := range tb.Agents {
+			if got := a.Rates(); !reflect.DeepEqual(got, pre[i]) {
+				t.Errorf("agent %s installed a stale-generation plan during the partitioned epoch", a.Name)
+			}
+		}
+	}
+
+	// Adopt the promoted lineage, verify convergence, run its next epoch.
+	zombie := tb.AdoptPromoted(prom.Ctl)
+	t.Cleanup(func() { zombie.Close() })
+	if prom.Reasserted {
+		want := prom.Ctl.LastGoodRates()
+		for _, a := range tb.Agents {
+			if got := a.Rates(); !reflect.DeepEqual(got, want) {
+				t.Errorf("agent %s not converged to the re-asserted plan: %v want %v", a.Name, got, want)
+			}
+		}
+	}
+	if _, err := tb.RunScenario(7); err != nil {
+		t.Fatalf("post-failover epoch: %v", err)
+	}
+
+	// Zombie fence probe: the predecessor's network returns and every write
+	// must bounce off the generation fence without mutating agent state.
+	ct.Disarm()
+	preProbe := make([]map[string]float64, len(tb.Agents))
+	for i, a := range tb.Agents {
+		preProbe[i] = a.Rates()
+	}
+	if _, err := zombie.UpdateRates(map[string]float64{"t0": 12345}); err == nil {
+		t.Error("zombie leader's post-promotion write was accepted")
+	}
+	for i, a := range tb.Agents {
+		run.Fenced += a.FenceRejections()
+		if got := a.Rates(); !reflect.DeepEqual(got, preProbe[i]) {
+			t.Errorf("agent %s state mutated by a fenced zombie write", a.Name)
+		}
+	}
+	if run.Fenced == 0 {
+		t.Error("no agent recorded a fence rejection")
+	}
+
+	// Shipping accounting identity: every attempt resolved to exactly one of
+	// acked or resent, nothing left inflight.
+	rs := ss.ReplStats()
+	if rs.Shipped != rs.Acked+rs.Resent || rs.Inflight != 0 {
+		t.Errorf("accounting identity violated: shipped=%d acked=%d resent=%d inflight=%d",
+			rs.Shipped, rs.Acked, rs.Resent, rs.Inflight)
+	}
+	run.Shipped, run.Acked, run.Resent = rs.Shipped, rs.Acked, rs.Resent
+
+	// Row expectations.
+	if run.Promoted != gc.wantPromoted {
+		t.Errorf("promoted site = %d, want %d", run.Promoted, gc.wantPromoted)
+	}
+	if run.Warm != gc.wantWarm {
+		t.Errorf("recovery warm = %v, want %v", run.Warm, gc.wantWarm)
+	}
+	if run.MirrorMatch != gc.wantMirror {
+		t.Errorf("mirror match = %v, want %v", run.MirrorMatch, gc.wantMirror)
+	}
+	if run.Reasserted != gc.wantReassert {
+		t.Errorf("reasserted = %v, want %v", run.Reasserted, gc.wantReassert)
+	}
+	if run.Resyncs < gc.wantMinResyncs {
+		t.Errorf("promoted site re-syncs = %d, want >= %d", run.Resyncs, gc.wantMinResyncs)
+	}
+	if run.FencedClaims != gc.wantFenced {
+		t.Errorf("fenced claims = %d, want %d", run.FencedClaims, gc.wantFenced)
+	}
+
+	run.Events = log.Events()
+	for id := 1; id <= gc.sites; id++ {
+		if inj := shipInjs[id]; inj != nil {
+			for _, h := range inj.History() {
+				run.Faults = append(run.Faults, fmt.Sprintf("ship%d:%s", id, h))
+			}
+		}
+	}
+	for _, a := range tb.Agents {
+		run.Rates = append(run.Rates, a.Rates())
+	}
+	run.Status = ss.Status()
+	run.Admission = tb.LastAdmission()
+
+	// State-directory digests: replicated truth must be byte-identical
+	// across runs, not just behaviorally similar.
+	var siteDirs []string
+	entries, err := os.ReadDir(sitesRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			siteDirs = append(siteDirs, filepath.Join(sitesRoot, e.Name()))
+		}
+	}
+	sort.Strings(siteDirs)
+	for _, d := range siteDirs {
+		run.SiteHashes = append(run.SiteHashes, hashDir(t, d))
+	}
+	run.SiteHashes = append(run.SiteHashes, hashDir(t, dir))
+	return run
+}
+
+// georepMatrix is the F10-F14 cross-site failure matrix.
+var georepMatrix = []georepCase{
+	{
+		// F10: site 1's replication stream drops half its frames while the
+		// leader-side buffer retains a single record, so every missed ship
+		// puts the site behind the buffer and forces a snapshot re-sync. The
+		// lagging site must be re-synced BEFORE it re-asserts: the promoted
+		// plan is the replicated truth, not a stale prefix.
+		name: "F10_lagging_site_resync", sites: 2, epochs: 4, retain: 1,
+		shipSpec:    map[int]Spec{1: {Seed: 7, Drop: 0.5}},
+		crashBudget: -1, maxTicks: 8,
+		wantPromoted: 1, wantWarm: true, wantMirror: true, wantReassert: true,
+		wantMinResyncs: 1,
+	},
+	{
+		// F11: full partition, two claimants. The leader is alive but cut
+		// off from the lease endpoint and every site; both sites' leases
+		// lapse. Site 1 wins the claim; site 2's independent claim carries
+		// the same floored generation and must lose the agents' named
+		// tie-break; the partitioned zombie's full epoch must not install a
+		// single stale-generation rate.
+		name: "F11_partition_two_claimants", sites: 2, epochs: 2,
+		crashBudget: -1, partition: true, secondClaim: true, maxTicks: 8,
+		wantPromoted: 1, wantWarm: true, wantMirror: true, wantReassert: true,
+		wantFenced: 1,
+	},
+	{
+		// F12: promotion racing a live solve epoch. The leases lapse while
+		// the leader is healthy mid-fan-out; site 1 claims at an exact point
+		// inside the leader's RPC sequence. The zombie finishes its epoch on
+		// the degradation ladder and every post-claim write it sends is
+		// fenced.
+		name: "F12_promotion_races_live_epoch", sites: 2, epochs: 1,
+		crashBudget: -1, hookOffset: 3,
+		wantPromoted: 1, wantWarm: true, wantMirror: true, wantReassert: true,
+	},
+	{
+		// F13: replication-stream corruption during a degradation storm with
+		// SLO classes active — composes the admission ladder with cross-site
+		// shipping. Corrupted frames are caught by the receiver's CRC, nacked
+		// into snapshot re-syncs, and the promoted site still replays the
+		// storm's per-class admission decisions bit-identically.
+		name: "F13_corrupt_stream_storm", sites: 2, epochs: 3,
+		shipSpec:    map[int]Spec{1: {Seed: 4242, Corrupt: 0.6}},
+		crashBudget: -1, maxTicks: 8,
+		classes:      te.DefaultClassSpec(),
+		storm:        []core.DegradationSignal{{Fiber: 1, PNN: 0.7}},
+		wantPromoted: 1, wantWarm: true, wantMirror: true, wantReassert: true,
+		wantMinResyncs: 1,
+	},
+	{
+		// F14: snapshot re-sync under load. Rapid epochs against a one-record
+		// buffer with both ship streams dropping and delaying, then a
+		// mid-epoch leader kill: sites live mostly off snapshot re-syncs, and
+		// promotion still lands inside one TE period with exact accounting.
+		name: "F14_resync_under_load", sites: 2, epochs: 6, retain: 1,
+		shipSpec: map[int]Spec{
+			1: {Seed: 11, Drop: 0.4},
+			2: {Seed: 12, Drop: 0.4, DelayProb: 0.2, DelayMin: 200 * time.Microsecond, DelayMax: time.Millisecond},
+		},
+		crashBudget: 2, maxTicks: 8,
+		wantPromoted: 1, wantWarm: true, wantMirror: true, wantReassert: true,
+		wantMinResyncs: 1,
+	},
+}
+
+// TestGeoFailoverMatrix runs every F10-F14 row twice and requires the two
+// traces to be bit-identical: same event order, same fault history, same
+// final plans, and byte-identical replicated state directories.
+func TestGeoFailoverMatrix(t *testing.T) {
+	for _, gc := range georepMatrix {
+		t.Run(gc.name, func(t *testing.T) {
+			a := runGeoScenario(t, gc)
+			b := runGeoScenario(t, gc)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("row does not replay bit-identically:\n run A: %+v\n run B: %+v", a, b)
+			}
+		})
+	}
+}

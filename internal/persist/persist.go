@@ -124,6 +124,14 @@ type Options struct {
 	Metrics *obs.Registry
 	// FS substitutes the filesystem; nil selects the operating system.
 	FS FS
+	// MinGeneration, when non-zero, is a floor on the generation this Open
+	// claims: the claimed generation is at least MinGeneration even if the
+	// directory's own counter is far behind. Cross-site promotion uses this
+	// to fence a zombie leader whose directory the promoting standby cannot
+	// see — the standby opens its *own* replica directory with MinGeneration
+	// set above the last leader generation it observed, so its RPCs outrank
+	// the zombie's at every agent.
+	MinGeneration uint64
 }
 
 func (o Options) withDefaults() Options {

@@ -23,8 +23,24 @@ type ReaderOptions struct {
 	// FS substitutes the filesystem; nil selects the operating system.
 	FS FS
 	// Metrics, when non-nil, receives the persist.tail.* series (polls,
-	// records surfaced, corrupt files skipped). Write-only.
+	// records surfaced, corrupt and dead files). Write-only.
 	Metrics *obs.Registry
+}
+
+// TailStats is a Reader's cumulative accounting, surfaced so a standby can
+// alarm on a leader directory going bad instead of quietly serving a stale
+// mirror. DeadFiles counts files the reader gave up on permanently (wrong
+// magic, or the file shrank below its validated prefix); every dead file is
+// also counted corrupt, so DeadFiles <= CorruptFiles.
+type TailStats struct {
+	// Polls is the number of Tail calls.
+	Polls int64
+	// Records is the number of records surfaced.
+	Records int64
+	// DeadFiles is the number of files permanently abandoned.
+	DeadFiles int64
+	// CorruptFiles is the number of corrupt-file observations.
+	CorruptFiles int64
 }
 
 // Reader is a read-only, lock-free opener of a state directory: the
@@ -49,6 +65,7 @@ type Reader struct {
 	mu     sync.Mutex
 	last   uint64 // highest sequence surfaced so far
 	files  map[string]*tailFile
+	stats  TailStats
 	closed bool
 }
 
@@ -87,6 +104,26 @@ func (r *Reader) LastSeq() uint64 {
 	return r.last
 }
 
+// Stats returns the reader's cumulative tail accounting. A standby that
+// sees Stats().DeadFiles grow should alarm: part of the leader's directory
+// is unreadable and the mirror may be staler than the leader's durable
+// state.
+func (r *Reader) Stats() TailStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// markDead abandons one file permanently and counts it both dead and
+// corrupt. Callers hold r.mu.
+func (r *Reader) markDead(tf *tailFile) {
+	tf.dead = true
+	r.stats.DeadFiles++
+	r.stats.CorruptFiles++
+	r.metrics.Counter("persist.tail.dead_files").Inc()
+	r.metrics.Counter("persist.tail.corrupt_files").Inc()
+}
+
 // Tail scans the directory and returns every committed record with a
 // sequence above the reader's position, in ascending sequence order,
 // deduplicated across snapshots and journals (a snapshot and a journal
@@ -103,6 +140,7 @@ func (r *Reader) Tail() ([]TailRecord, error) {
 		return nil, fmt.Errorf("persist: tail on closed reader")
 	}
 	r.metrics.Counter("persist.tail.polls").Inc()
+	r.stats.Polls++
 	names, err := r.fs.ReadDir(r.dir)
 	if err != nil {
 		if errors.Is(err, iofs.ErrNotExist) {
@@ -160,8 +198,7 @@ func (r *Reader) Tail() ([]TailRecord, error) {
 				continue // still being created (magic not yet durable)
 			}
 			if !bytes.Equal(b[:len(magic)], magic) {
-				tf.dead = true
-				r.metrics.Counter("persist.tail.corrupt_files").Inc()
+				r.markDead(tf)
 				continue
 			}
 			tf.off = len(magic)
@@ -169,8 +206,7 @@ func (r *Reader) Tail() ([]TailRecord, error) {
 		if len(b) < tf.off {
 			// The file shrank below its validated prefix: it is no longer the
 			// append-only file we validated, so stop trusting it.
-			tf.dead = true
-			r.metrics.Counter("persist.tail.corrupt_files").Inc()
+			r.markDead(tf)
 			continue
 		}
 		rest := b[tf.off:]
@@ -197,6 +233,7 @@ func (r *Reader) Tail() ([]TailRecord, error) {
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	if n := len(out); n > 0 {
 		r.last = out[n-1].Seq
+		r.stats.Records += int64(n)
 		r.metrics.Counter("persist.tail.records").Add(int64(n))
 	}
 	return out, nil

@@ -1,0 +1,439 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prete/internal/obs"
+)
+
+// This file is the cross-site replication engine: a leader-side Replicator
+// that tails its own state directory and ships CRC-framed records to remote
+// standbys, and a standby-side Applier that validates each frame and applies
+// it into the standby's *own* local Store. The wire frame is byte-identical
+// to the on-disk record framing (length, CRC-32C, seq-prefixed payload), so
+// a frame that survives the network survives the disk and vice versa — one
+// checksum contract end to end.
+//
+// Delivery is at-least-once over an unreliable transport; the Applier makes
+// it exactly-once by sequence: duplicates (seq <= last applied) are
+// acknowledged without effect, and gaps (seq > last+1) are refused with
+// ErrGap so the shipper falls back to a snapshot re-sync. Because every
+// journal record in this repo carries the full epoch state, a snapshot
+// re-sync is simply the newest record shipped with the snapshot flag — the
+// standby compacts it into place and resumes record-by-record from there.
+//
+// The Replicator keeps exact accounting with the invariant
+//
+//	shipped = acked + inflight + resent
+//
+// checked by tests and mirrored into the persist.repl.* metric series.
+// Neither side spawns goroutines: shipping is driven by Tick and applying by
+// the caller's server loop, which keeps the whole pipeline deterministic
+// under the seeded fault schedules.
+
+// ErrBadFrame reports a replication frame that failed validation: torn,
+// truncated, trailing garbage, or a checksum mismatch. The receiver should
+// answer with a re-sync request — the stream cannot be trusted mid-record.
+var ErrBadFrame = errors.New("persist: replication frame failed validation")
+
+// ErrGap reports a replication frame whose sequence skips ahead of the
+// standby's contiguous prefix. Applying it would hide the hole forever, so
+// the Applier refuses and the shipper must re-sync with a snapshot.
+var ErrGap = errors.New("persist: replication sequence gap")
+
+// EncodeReplFrame frames (seq, body) for the wire exactly as a journal
+// record is framed on disk: 4-byte little-endian payload length, 4-byte
+// CRC-32C, then payload = seq || body.
+func EncodeReplFrame(seq uint64, body []byte) []byte {
+	return appendRecord(nil, seq, body)
+}
+
+// DecodeReplFrame validates one wire frame and returns its sequence and
+// body. The frame must contain exactly one valid record — a torn head,
+// checksum failure, or trailing bytes yield ErrBadFrame.
+func DecodeReplFrame(frame []byte) (seq uint64, body []byte, err error) {
+	rec, rest, ok := readRecord(frame)
+	if !ok || len(rest) != 0 {
+		return 0, nil, ErrBadFrame
+	}
+	return rec.seq, rec.body, nil
+}
+
+// ApplierStats is an Applier's cumulative accounting. Every Apply call lands
+// in exactly one of Applied, SnapshotApplies, Dups, Gaps, or BadFrames (plus
+// Errors for local store failures).
+type ApplierStats struct {
+	// Applied counts record frames appended to the local journal.
+	Applied int64
+	// SnapshotApplies counts snapshot frames compacted into place (each one
+	// is a completed re-sync from the standby's point of view).
+	SnapshotApplies int64
+	// Dups counts frames at or below the applied prefix, acked without
+	// effect.
+	Dups int64
+	// Gaps counts record frames refused because they skip ahead.
+	Gaps int64
+	// BadFrames counts frames that failed validation.
+	BadFrames int64
+	// Errors counts local store write failures.
+	Errors int64
+	// LastSeq is the standby's contiguous applied prefix.
+	LastSeq uint64
+}
+
+// ApplierOptions tunes an Applier.
+type ApplierOptions struct {
+	// Metrics, when non-nil, receives the standby-side persist.repl.* series
+	// (applied, snapshot_applies, dups, gaps, bad_frames). Write-only.
+	Metrics *obs.Registry
+}
+
+// Applier applies replication frames into a standby's local Store. It owns
+// the dedup/gap policy, not the store: the store only sees monotone appends
+// and compactions. The caller owns the Store's lifecycle.
+type Applier struct {
+	st      *Store
+	metrics *obs.Registry
+
+	mu    sync.Mutex
+	stats ApplierStats
+}
+
+// NewApplier wraps st, seeding the applied prefix from the store's durable
+// state so a restarted standby dedups correctly from its first frame.
+func NewApplier(st *Store, opt ApplierOptions) *Applier {
+	a := &Applier{st: st, metrics: opt.Metrics}
+	a.stats.LastSeq = st.LastSeq()
+	return a
+}
+
+// LastSeq returns the standby's contiguous applied prefix.
+func (a *Applier) LastSeq() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats.LastSeq
+}
+
+// Stats returns the applier's cumulative accounting.
+func (a *Applier) Stats() ApplierStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Apply validates one replication frame and applies it to the local store,
+// returning the standby's contiguous applied prefix afterwards. Snapshot
+// frames reset the prefix via compaction (a re-sync); record frames must
+// extend it by exactly one sequence. Duplicates return nil without effect.
+// ErrBadFrame and ErrGap mean the caller should request a snapshot re-sync;
+// any other error is a local store failure.
+func (a *Applier) Apply(frame []byte, snapshot bool) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seq, body, err := DecodeReplFrame(frame)
+	if err != nil {
+		a.stats.BadFrames++
+		a.metrics.Counter("persist.repl.bad_frames").Inc()
+		return a.stats.LastSeq, err
+	}
+	switch {
+	case seq <= a.stats.LastSeq:
+		// At-least-once delivery: the shipper may not have seen our earlier
+		// ack. Acking again is free and keeps the stream moving.
+		a.stats.Dups++
+		a.metrics.Counter("persist.repl.dups").Inc()
+		return a.stats.LastSeq, nil
+	case snapshot:
+		if err := a.st.Compact(seq, body); err != nil {
+			a.stats.Errors++
+			return a.stats.LastSeq, fmt.Errorf("persist: apply snapshot %d: %w", seq, err)
+		}
+		a.stats.SnapshotApplies++
+		a.metrics.Counter("persist.repl.snapshot_applies").Inc()
+	case seq != a.stats.LastSeq+1:
+		a.stats.Gaps++
+		a.metrics.Counter("persist.repl.gaps").Inc()
+		return a.stats.LastSeq, fmt.Errorf("persist: apply seq %d after %d: %w", seq, a.stats.LastSeq, ErrGap)
+	default:
+		if err := a.st.Append(seq, body); err != nil {
+			a.stats.Errors++
+			return a.stats.LastSeq, fmt.Errorf("persist: apply record %d: %w", seq, err)
+		}
+		a.stats.Applied++
+		a.metrics.Counter("persist.repl.applied").Inc()
+	}
+	a.stats.LastSeq = seq
+	return a.stats.LastSeq, nil
+}
+
+// Pipe is one shipping lane to a standby. Ship delivers a frame and returns
+// the standby's contiguous applied prefix plus whether it wants a snapshot
+// re-sync (gap or corruption on its side). A non-nil error means the frame's
+// fate is unknown (transport failure) and the shipper must retry.
+type Pipe interface {
+	Ship(frame []byte, snapshot bool) (acked uint64, resync bool, err error)
+}
+
+// ReplStats is a Replicator's cumulative accounting across all targets. The
+// invariant shipped == acked + inflight + resent holds at every instant:
+// each ship attempt is counted shipped and inflight when it starts, and
+// moves to exactly one of acked or resent when it resolves.
+type ReplStats struct {
+	// Shipped counts ship attempts started (records and snapshots).
+	Shipped int64
+	// Acked counts attempts the target acknowledged at or above the shipped
+	// sequence.
+	Acked int64
+	// Resent counts attempts that did not stick — transport failure,
+	// rejection, or a re-sync request — and will be retried in some form.
+	Resent int64
+	// Inflight counts attempts started but not yet resolved (zero whenever
+	// no Tick is executing).
+	Inflight int64
+	// Resyncs counts snapshot re-syncs completed (a target caught back up).
+	Resyncs int64
+	// Tailed counts records read from the leader's own directory.
+	Tailed int64
+	// TailDeadFiles mirrors the underlying Reader's dead-file count so the
+	// shipping side can alarm on its own directory going bad.
+	TailDeadFiles int64
+	// TargetAcked is each target's contiguous acked prefix.
+	TargetAcked map[string]uint64
+}
+
+// ReplicatorOptions tunes a Replicator.
+type ReplicatorOptions struct {
+	// RetainRecords caps the records buffered for record-by-record catch-up;
+	// <= 0 selects the default of 64. A target whose ack falls behind the
+	// buffer is caught up with a snapshot re-sync instead — bounding leader
+	// memory no matter how far a standby lags.
+	RetainRecords int
+	// FS substitutes the filesystem for the directory tailer; nil selects
+	// the operating system.
+	FS FS
+	// Metrics, when non-nil, receives the leader-side persist.repl.* series
+	// (shipped, acked, resent, inflight, resyncs, tailed). Write-only.
+	Metrics *obs.Registry
+}
+
+// replTarget is one standby's shipping state.
+type replTarget struct {
+	name         string
+	pipe         Pipe
+	acked        uint64
+	needSnapshot bool
+}
+
+// Replicator ships a leader's journal to remote standbys. It tails the
+// leader's state directory read-only (the same multi-opener seam hot
+// standbys use locally), buffers the newest records, and on every Tick
+// pushes each target forward: pending records in sequence order, or a
+// snapshot re-sync when the target is behind the buffer, reports a gap, or
+// receives a corrupt frame. All shipping is synchronous inside Tick — the
+// Replicator owns no goroutines.
+type Replicator struct {
+	rd      *Reader
+	retain  int
+	metrics *obs.Registry
+
+	mu      sync.Mutex
+	records []TailRecord // buffered, ascending seq
+	targets []*replTarget
+	stats   ReplStats
+	closed  bool
+}
+
+// NewReplicator opens dir (the leader's own state directory) for tailing.
+// The directory may not exist yet; shipping starts once it appears.
+func NewReplicator(dir string, opt ReplicatorOptions) (*Replicator, error) {
+	rd, err := OpenReader(dir, ReaderOptions{FS: opt.FS, Metrics: opt.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	retain := opt.RetainRecords
+	if retain <= 0 {
+		retain = 64
+	}
+	return &Replicator{rd: rd, retain: retain, metrics: opt.Metrics}, nil
+}
+
+// AddTarget registers a standby to ship to, starting from ack 0 (the first
+// Tick re-syncs it if the buffer no longer reaches back that far). Targets
+// are shipped in registration order, which keeps multi-site runs
+// deterministic.
+func (r *Replicator) AddTarget(name string, pipe Pipe) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.targets = append(r.targets, &replTarget{name: name, pipe: pipe})
+}
+
+// RemoveTarget stops shipping to name (a promoted or decommissioned site).
+func (r *Replicator) RemoveTarget(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, t := range r.targets {
+		if t.name == name {
+			r.targets = append(r.targets[:i], r.targets[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats returns the replicator's cumulative accounting.
+func (r *Replicator) Stats() ReplStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.TailDeadFiles = r.rd.Stats().DeadFiles
+	st.TargetAcked = make(map[string]uint64, len(r.targets))
+	for _, t := range r.targets {
+		st.TargetAcked[t.name] = t.acked
+	}
+	return st
+}
+
+// Tick tails the leader directory for new records and pushes every target
+// as far forward as the transport allows. Per-target delivery failures are
+// accounted (resent) but do not fail the Tick; only a tailing error does.
+func (r *Replicator) Tick() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("persist: tick on closed replicator")
+	}
+	recs, err := r.rd.Tail()
+	if err != nil {
+		return err
+	}
+	if len(recs) > 0 {
+		r.records = append(r.records, recs...)
+		r.stats.Tailed += int64(len(recs))
+		r.metrics.Counter("persist.repl.tailed").Add(int64(len(recs)))
+	}
+	r.pruneLocked()
+	for _, t := range r.targets {
+		r.shipToLocked(t)
+	}
+	r.pruneLocked()
+	return nil
+}
+
+// pruneLocked drops buffered records every target has acked and caps the
+// buffer to the newest retain records; at least one record is always kept so
+// a snapshot re-sync has something to ship.
+func (r *Replicator) pruneLocked() {
+	if len(r.records) == 0 {
+		return
+	}
+	minAcked := ^uint64(0)
+	for _, t := range r.targets {
+		if t.acked < minAcked {
+			minAcked = t.acked
+		}
+	}
+	if len(r.targets) == 0 {
+		minAcked = 0
+	}
+	i := 0
+	for i < len(r.records)-1 && r.records[i].Seq <= minAcked {
+		i++
+	}
+	if over := len(r.records) - i - r.retain; over > 0 {
+		i += over
+	}
+	if i > 0 {
+		r.records = append([]TailRecord(nil), r.records[i:]...)
+	}
+}
+
+// shipToLocked pushes one target as far forward as possible: a snapshot
+// re-sync when needed, then pending records in order, stopping at the first
+// unresolved failure (retried next Tick).
+func (r *Replicator) shipToLocked(t *replTarget) {
+	for {
+		if len(r.records) == 0 {
+			return
+		}
+		newest := r.records[len(r.records)-1]
+		if t.acked >= newest.Seq && !t.needSnapshot {
+			return
+		}
+		// A target behind the buffer can't be walked forward record by
+		// record — the hole is already pruned — so catch it up wholesale.
+		behindBuffer := t.acked+1 < r.records[0].Seq
+		if t.needSnapshot || behindBuffer {
+			frame := EncodeReplFrame(newest.Seq, newest.Payload)
+			acked, resync, err := r.shipFrame(t, frame, true)
+			if err != nil || resync || acked < newest.Seq {
+				return // unresolved or refused; retry next Tick
+			}
+			t.acked = acked
+			t.needSnapshot = false
+			r.stats.Resyncs++
+			r.metrics.Counter("persist.repl.resyncs").Inc()
+			continue
+		}
+		next, ok := r.recordAfterLocked(t.acked)
+		if !ok {
+			return
+		}
+		frame := EncodeReplFrame(next.Seq, next.Payload)
+		acked, resync, err := r.shipFrame(t, frame, false)
+		switch {
+		case err != nil:
+			return
+		case resync:
+			t.needSnapshot = true
+			continue // ship the snapshot immediately, same Tick
+		case acked >= next.Seq:
+			t.acked = acked
+		default:
+			return // target refused without explanation; retry next Tick
+		}
+	}
+}
+
+// recordAfterLocked returns the first buffered record with Seq > acked.
+func (r *Replicator) recordAfterLocked(acked uint64) (TailRecord, bool) {
+	for _, rec := range r.records {
+		if rec.Seq > acked {
+			return rec, true
+		}
+	}
+	return TailRecord{}, false
+}
+
+// shipFrame performs one accounted ship attempt. Exactly one of acked or
+// resent is incremented per attempt, keeping shipped = acked + inflight +
+// resent exact.
+func (r *Replicator) shipFrame(t *replTarget, frame []byte, snapshot bool) (acked uint64, resync bool, err error) {
+	r.stats.Shipped++
+	r.stats.Inflight++
+	r.metrics.Counter("persist.repl.shipped").Inc()
+	r.metrics.Gauge("persist.repl.inflight").Set(float64(r.stats.Inflight))
+	acked, resync, err = t.pipe.Ship(frame, snapshot)
+	r.stats.Inflight--
+	r.metrics.Gauge("persist.repl.inflight").Set(float64(r.stats.Inflight))
+	seq, _, _ := DecodeReplFrame(frame)
+	if err == nil && !resync && acked >= seq {
+		r.stats.Acked++
+		r.metrics.Counter("persist.repl.acked").Inc()
+	} else {
+		r.stats.Resent++
+		r.metrics.Counter("persist.repl.resent").Inc()
+	}
+	return acked, resync, err
+}
+
+// Close stops the replicator and its directory tailer. Idempotent.
+func (r *Replicator) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.rd.Close()
+}

@@ -1,0 +1,434 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// memPipe is an in-process Pipe with programmable faults: a direct wire to
+// an Applier, optionally dropping, corrupting, or refusing frames.
+type memPipe struct {
+	ap      *Applier
+	drop    int // drop the next n ships (transport failure)
+	corrupt int // flip a byte in the next n ships
+	ships   int
+}
+
+func (p *memPipe) Ship(frame []byte, snapshot bool) (uint64, bool, error) {
+	p.ships++
+	if p.drop > 0 {
+		p.drop--
+		return 0, false, errors.New("memPipe: dropped")
+	}
+	f := append([]byte(nil), frame...)
+	if p.corrupt > 0 {
+		p.corrupt--
+		f[len(f)/2] ^= 0xFF
+	}
+	ack, err := p.ap.Apply(f, snapshot)
+	switch {
+	case err == nil:
+		return ack, false, nil
+	case errors.Is(err, ErrGap) || errors.Is(err, ErrBadFrame):
+		return ack, true, nil
+	default:
+		return ack, false, err
+	}
+}
+
+func TestReplFrameRoundTrip(t *testing.T) {
+	body := []byte(`{"epoch":7}`)
+	frame := EncodeReplFrame(7, body)
+	seq, got, err := DecodeReplFrame(frame)
+	if err != nil || seq != 7 || !bytes.Equal(got, body) {
+		t.Fatalf("DecodeReplFrame = (%d, %q, %v), want (7, %q, nil)", seq, got, err, body)
+	}
+	// The wire frame is byte-identical to the on-disk record framing.
+	if disk := appendRecord(nil, 7, body); !bytes.Equal(frame, disk) {
+		t.Fatalf("wire frame %x differs from disk record %x", frame, disk)
+	}
+}
+
+func TestDecodeReplFrameRejects(t *testing.T) {
+	frame := EncodeReplFrame(3, []byte("abc"))
+	cases := map[string][]byte{
+		"empty":     nil,
+		"torn head": frame[:3],
+		"torn body": frame[:len(frame)-1],
+		"trailing":  append(append([]byte(nil), frame...), 0x00),
+		"flipped": func() []byte {
+			f := append([]byte(nil), frame...)
+			f[len(f)-1] ^= 0x01
+			return f
+		}(),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeReplFrame(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestApplierExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ap := NewApplier(st, ApplierOptions{})
+
+	// In-order records apply.
+	for seq := uint64(1); seq <= 3; seq++ {
+		ack, err := ap.Apply(EncodeReplFrame(seq, []byte(fmt.Sprintf(`{"epoch":%d}`, seq))), false)
+		if err != nil || ack != seq {
+			t.Fatalf("apply %d: (%d, %v)", seq, ack, err)
+		}
+	}
+	// Duplicate: acked without effect.
+	ack, err := ap.Apply(EncodeReplFrame(2, []byte(`{"epoch":2}`)), false)
+	if err != nil || ack != 3 {
+		t.Fatalf("dup apply: (%d, %v), want (3, nil)", ack, err)
+	}
+	// Gap: refused with ErrGap.
+	if _, err := ap.Apply(EncodeReplFrame(9, []byte(`{"epoch":9}`)), false); !errors.Is(err, ErrGap) {
+		t.Fatalf("gap apply: %v, want ErrGap", err)
+	}
+	// Snapshot: jumps the prefix via compaction.
+	ack, err = ap.Apply(EncodeReplFrame(9, []byte(`{"epoch":9}`)), true)
+	if err != nil || ack != 9 {
+		t.Fatalf("snapshot apply: (%d, %v), want (9, nil)", ack, err)
+	}
+	// Bad frame: refused with ErrBadFrame.
+	bad := EncodeReplFrame(10, []byte(`{"epoch":10}`))
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := ap.Apply(bad, false); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad frame apply: %v, want ErrBadFrame", err)
+	}
+	s := ap.Stats()
+	if s.Applied != 3 || s.SnapshotApplies != 1 || s.Dups != 1 || s.Gaps != 1 || s.BadFrames != 1 || s.LastSeq != 9 {
+		t.Fatalf("stats = %+v", s)
+	}
+
+	// The applied prefix is durable: a re-opened store + applier resumes
+	// dedup from seq 9.
+	st.Close()
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ap2 := NewApplier(st2, ApplierOptions{})
+	if got := ap2.LastSeq(); got != 9 {
+		t.Fatalf("reopened applier LastSeq = %d, want 9", got)
+	}
+}
+
+// leaderAppend journals one full-state record on the leader store.
+func leaderAppend(t *testing.T, st *Store, seq uint64) {
+	t.Helper()
+	if err := st.Append(seq, []byte(fmt.Sprintf(`{"epoch":%d}`, seq))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicatorShipsAndAccounts(t *testing.T) {
+	leaderDir, siteDir := t.TempDir(), t.TempDir()
+	leader, err := Open(leaderDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	siteStore, err := Open(siteDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siteStore.Close()
+	ap := NewApplier(siteStore, ApplierOptions{})
+
+	r, err := NewReplicator(leaderDir, ReplicatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	pipe := &memPipe{ap: ap}
+	r.AddTarget("site-1", pipe)
+
+	for seq := uint64(1); seq <= 5; seq++ {
+		leaderAppend(t, leader, seq)
+	}
+	if err := r.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.TargetAcked["site-1"] != 5 || ap.LastSeq() != 5 {
+		t.Fatalf("after tick: acked=%v applied=%d", st.TargetAcked, ap.LastSeq())
+	}
+	if st.Shipped != st.Acked+st.Resent+st.Inflight || st.Inflight != 0 {
+		t.Fatalf("accounting identity violated: %+v", st)
+	}
+	if st.Resyncs != 0 || st.Acked != 5 {
+		t.Fatalf("clean stream stats: %+v", st)
+	}
+
+	// A dropped ship is counted resent and retried to success next Tick.
+	leaderAppend(t, leader, 6)
+	pipe.drop = 1
+	if err := r.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().TargetAcked["site-1"]; got != 5 {
+		t.Fatalf("acked after drop = %d, want 5", got)
+	}
+	if err := r.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	st = r.Stats()
+	if st.TargetAcked["site-1"] != 6 || st.Resent != 1 {
+		t.Fatalf("after retry: %+v", st)
+	}
+	if st.Shipped != st.Acked+st.Resent || st.Inflight != 0 {
+		t.Fatalf("accounting identity violated: %+v", st)
+	}
+}
+
+// TestReplicatorRemoveTarget: a removed target (a promoted or
+// decommissioned site) stops receiving records and drops out of the
+// accounting, while remaining targets keep shipping.
+func TestReplicatorRemoveTarget(t *testing.T) {
+	leaderDir, siteDir := t.TempDir(), t.TempDir()
+	leader, err := Open(leaderDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	siteStore, err := Open(siteDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siteStore.Close()
+	ap := NewApplier(siteStore, ApplierOptions{})
+
+	r, err := NewReplicator(leaderDir, ReplicatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.AddTarget("site-1", &memPipe{ap: ap})
+	gone := &memPipe{ap: NewApplier(siteStore, ApplierOptions{})}
+	r.AddTarget("site-2", gone)
+
+	leaderAppend(t, leader, 1)
+	if err := r.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	r.RemoveTarget("site-2")
+	r.RemoveTarget("site-2") // absent name is a no-op
+	leaderAppend(t, leader, 2)
+	if err := r.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.TargetAcked["site-1"] != 2 || ap.LastSeq() != 2 {
+		t.Fatalf("surviving target stalled: %+v applied=%d", st.TargetAcked, ap.LastSeq())
+	}
+	if _, tracked := st.TargetAcked["site-2"]; tracked {
+		t.Fatalf("removed target still accounted: %+v", st.TargetAcked)
+	}
+	if st.Shipped != st.Acked+st.Resent+st.Inflight {
+		t.Fatalf("accounting identity violated after removal: %+v", st)
+	}
+}
+
+func TestReplicatorCorruptFrameResyncs(t *testing.T) {
+	leaderDir, siteDir := t.TempDir(), t.TempDir()
+	leader, err := Open(leaderDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	siteStore, err := Open(siteDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siteStore.Close()
+	ap := NewApplier(siteStore, ApplierOptions{})
+	r, err := NewReplicator(leaderDir, ReplicatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	pipe := &memPipe{ap: ap, corrupt: 1}
+	r.AddTarget("site-1", pipe)
+
+	leaderAppend(t, leader, 1)
+	if err := r.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	// The corrupted record was nacked by the site's CRC; the shipper fell
+	// back to a snapshot in the same Tick.
+	st := r.Stats()
+	if st.Resyncs != 1 || st.TargetAcked["site-1"] != 1 {
+		t.Fatalf("after corrupt ship: %+v", st)
+	}
+	if ap.Stats().BadFrames != 1 || ap.Stats().SnapshotApplies != 1 {
+		t.Fatalf("applier stats: %+v", ap.Stats())
+	}
+}
+
+func TestReplicatorBehindBufferResyncs(t *testing.T) {
+	leaderDir, siteDir := t.TempDir(), t.TempDir()
+	leader, err := Open(leaderDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	siteStore, err := Open(siteDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siteStore.Close()
+	ap := NewApplier(siteStore, ApplierOptions{})
+	r, err := NewReplicator(leaderDir, ReplicatorOptions{RetainRecords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	pipe := &memPipe{ap: ap, drop: 2}
+	r.AddTarget("site-1", pipe)
+
+	// Seqs 1..3 arrive while the pipe is down and the buffer retains only
+	// the newest record: the site is behind the buffer when the pipe heals,
+	// so it must be caught up wholesale, never walked through the hole.
+	for seq := uint64(1); seq <= 3; seq++ {
+		leaderAppend(t, leader, seq)
+		if err := r.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.TargetAcked["site-1"] != 3 {
+		t.Fatalf("acked = %d, want 3 (snapshot catch-up)", st.TargetAcked["site-1"])
+	}
+	if st.Resyncs < 1 {
+		t.Fatalf("resyncs = %d, want >= 1", st.Resyncs)
+	}
+	if ap.Stats().Applied != 0 || ap.Stats().SnapshotApplies < 1 {
+		t.Fatalf("site should have been caught up by snapshot only: %+v", ap.Stats())
+	}
+	// The recovered state on the site is the newest epoch, not a stale
+	// prefix.
+	if got := siteStore.LastSeq(); got != 3 {
+		t.Fatalf("site durable seq = %d, want 3", got)
+	}
+}
+
+// TestReplicatorNoGoroutines pins the replication engine's determinism
+// contract structurally: open/close (and a full ship cycle) spawn no
+// background goroutines on either side.
+func TestReplicatorNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	leaderDir, siteDir := t.TempDir(), t.TempDir()
+	leader, err := Open(leaderDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteStore, err := Open(siteDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := NewApplier(siteStore, ApplierOptions{})
+	r, err := NewReplicator(leaderDir, ReplicatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddTarget("site-1", &memPipe{ap: ap})
+	leaderAppend(t, leader, 1)
+	if err := r.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := r.Tick(); err == nil {
+		t.Fatal("tick on closed replicator succeeded")
+	}
+	leader.Close()
+	siteStore.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, now)
+	}
+}
+
+func TestReaderDeadFileStats(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(1, []byte(`{"epoch":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	rd, err := OpenReader(dir, ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if _, err := rd.Tail(); err != nil {
+		t.Fatal(err)
+	}
+	s := rd.Stats()
+	if s.Polls != 1 || s.Records != 1 || s.DeadFiles != 0 {
+		t.Fatalf("healthy stats = %+v", s)
+	}
+
+	// Truncate the journal below what the reader has consumed: the file
+	// shrank, the tailer must abandon it AND the standby must be able to
+	// see that it did — that is the alarm surface.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var journal string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "journal-") {
+			journal = filepath.Join(dir, e.Name())
+		}
+	}
+	if journal == "" {
+		t.Fatal("no journal file found")
+	}
+	if err := os.Truncate(journal, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Tail(); err != nil {
+		t.Fatal(err)
+	}
+	s = rd.Stats()
+	if s.DeadFiles != 1 || s.CorruptFiles < 1 {
+		t.Fatalf("post-shrink stats = %+v, want DeadFiles=1", s)
+	}
+	// Dead is latched: further polls do not re-count the same corpse.
+	if _, err := rd.Tail(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rd.Stats().DeadFiles; got != 1 {
+		t.Fatalf("dead files after repoll = %d, want 1", got)
+	}
+}

@@ -103,6 +103,9 @@ func (s *Store) open() error {
 		prev = maxJournalGen
 	}
 	s.gen = prev + 1
+	if s.gen < s.opt.MinGeneration {
+		s.gen = s.opt.MinGeneration
+	}
 	if err := s.writeGen(s.gen); err != nil {
 		return err
 	}

@@ -44,6 +44,7 @@ type SwitchAgent struct {
 	tunnels      map[int][]int
 	rates        map[string]float64
 	maxGen       uint64 // highest controller generation seen (epoch fence)
+	genLeader    string // leader id that claimed maxGen ("" = unnamed)
 	lastSeq      uint64 // highest sequence seen from that generation
 	fenceRejects int
 
@@ -199,10 +200,17 @@ func (a *SwitchAgent) handle(req *Request) *Response {
 	// one already seen comes from a dead controller incarnation — a delayed
 	// duplicate or a zombie that lost the state-directory lock — and must
 	// not mutate switch state. Gen 0 is the unfenced legacy protocol and is
-	// always accepted.
+	// always accepted. Two cross-site claimants can fence to the *same*
+	// generation (each opened its own directory with the same floor, and no
+	// shared flock exists to arbitrate), so equal generations from two
+	// different named leaders tie-break to whichever claimant reached this
+	// agent first; unnamed senders (Leader == "") keep the legacy
+	// equal-gen-accepted behaviour.
 	if req.Gen > 0 {
 		a.mu.Lock()
-		if req.Gen < a.maxGen {
+		stale := req.Gen < a.maxGen ||
+			(req.Gen == a.maxGen && req.Leader != a.genLeader && req.Leader != "" && a.genLeader != "")
+		if stale {
 			gen := a.maxGen
 			a.fenceRejects++
 			a.mu.Unlock()
@@ -215,6 +223,7 @@ func (a *SwitchAgent) handle(req *Request) *Response {
 		}
 		if req.Gen > a.maxGen {
 			a.maxGen = req.Gen
+			a.genLeader = req.Leader
 			a.lastSeq = 0
 		}
 		if req.Seq > a.lastSeq {

@@ -20,6 +20,19 @@ import (
 // happens through OpenState on the next incarnation.
 var ErrControllerHalted = errors.New("wan: controller halted")
 
+// ErrStale marks an RPC refused by an agent's generation fence: this
+// controller incarnation has been superseded by a newer one (or lost an
+// equal-generation claimant tie-break). It is typed so promotion logic can
+// distinguish "I lost the claim and must step down" from ordinary fleet
+// trouble.
+var ErrStale = errors.New("wan: fenced by a newer controller generation")
+
+// ErrRetryBudget marks an RPC abandoned because the reaction round's retry
+// budget (BeginRound) ran out: sleeping through another backoff would
+// overrun the TE period, so the ladder must engage now instead of after the
+// deadline has already passed.
+var ErrRetryBudget = errors.New("wan: retry budget exhausted")
+
 // RetryPolicy bounds the controller's per-RPC retry loop: up to MaxAttempts
 // tries per request, waiting a capped exponential backoff between attempts.
 // Jitter is the fraction of each backoff randomized away (0 = fixed waits,
@@ -109,9 +122,16 @@ type Controller struct {
 	// OpenState (0 = persist's default).
 	StateCompactEvery int
 
+	// LeaderID, when non-empty, names this controller incarnation in every
+	// fenced RPC (Request.Leader). Cross-site promotion sets it so agents can
+	// tie-break two claimants that fenced to the same generation; set it
+	// before the first RPC.
+	LeaderID string
+
 	rng *stats.RNG // backoff jitter stream
 
 	mu        sync.Mutex
+	deadline  time.Time          // current round's retry-budget deadline (zero = none)
 	lastRates map[string]float64 // last table pushed fleet-wide without error
 	store     *persist.Store     // nil unless OpenState attached one
 	gen       uint64             // fence value stamped into RPCs (0 = unfenced)
@@ -163,6 +183,31 @@ func sortedNames(m map[string]string) []string {
 // SeedBackoffJitter reseeds the jitter stream (part of a chaos experiment's
 // reproducible identity; the default seed is fixed, so this is optional).
 func (c *Controller) SeedBackoffJitter(seed uint64) { c.rng = stats.NewRNG(seed) }
+
+// BeginRound bounds the cumulative retry+backoff time of the reaction round
+// starting now: once budget has elapsed, in-flight RPCs stop sleeping
+// through further backoffs and fail with ErrRetryBudget so the degradation
+// ladder engages before the TE period is already blown. A nonpositive
+// budget clears the bound (the default — per-RPC MaxAttempts alone, which
+// keeps deterministic replay runs byte-identical). The bound is checked
+// before each backoff sleep, so a single RPC attempt can still run to its
+// own Timeout.
+func (c *Controller) BeginRound(budget time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if budget <= 0 {
+		c.deadline = time.Time{}
+		return
+	}
+	c.deadline = time.Now().Add(budget)
+}
+
+// roundDeadline returns the current round's retry-budget deadline.
+func (c *Controller) roundDeadline() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deadline
+}
 
 // Close tears down all connections and releases the state store (and with
 // it the state-directory lock), if one is attached. The store is never
@@ -237,6 +282,9 @@ func (c *Controller) rpc(name string, cn Conn, req *Request) (*Response, error) 
 	// One sequence number per logical RPC: retried attempts re-send the same
 	// (gen, seq), so duplicate deliveries are recognizable as one request.
 	req.Gen, req.Seq = c.stamp(name)
+	if req.Gen > 0 {
+		req.Leader = c.LeaderID
+	}
 	for attempt := 1; ; attempt++ {
 		t := c.Metrics.Timer("wan.rpc.latency")
 		start := t.Start()
@@ -261,9 +309,9 @@ func (c *Controller) rpc(name string, cn Conn, req *Request) (*Response, error) 
 				// Fenced by the agent: this incarnation is superseded.
 				c.Metrics.Counter("wan.recovery.fence_rejections").Inc()
 				c.Log.Addf("rpc %s %s fenced", name, req.Type)
-			} else {
-				c.Log.Addf("rpc %s %s rejected", name, req.Type)
+				return resp, fmt.Errorf("wan: %s %s fenced to gen %d: %w", name, req.Type, resp.Gen, ErrStale)
 			}
+			c.Log.Addf("rpc %s %s rejected", name, req.Type)
 			return resp, err
 		}
 		if attempt >= pol.MaxAttempts {
@@ -273,9 +321,17 @@ func (c *Controller) rpc(name string, cn Conn, req *Request) (*Response, error) 
 		}
 		c.Metrics.Counter("wan.rpc.retries").Inc()
 		c.Log.Addf("rpc %s %s retry attempt=%d", name, req.Type, attempt)
+		// The jitter draw happens unconditionally so the seeded stream
+		// advances identically whether or not a budget is set.
+		wait := pol.backoff(attempt, c.rng)
+		if dl := c.roundDeadline(); !dl.IsZero() && time.Now().Add(wait).After(dl) {
+			c.Metrics.Counter("wan.rpc.budget_giveups").Inc()
+			c.Log.Addf("rpc %s %s budget giveup attempt=%d", name, req.Type, attempt)
+			return nil, fmt.Errorf("wan: %s %s after %d attempts: %w", name, req.Type, attempt, ErrRetryBudget)
+		}
 		bt := c.Metrics.Timer("wan.rpc.backoff")
 		bstart := bt.Start()
-		time.Sleep(pol.backoff(attempt, c.rng))
+		time.Sleep(wait)
 		bt.Stop(bstart)
 	}
 }

@@ -1,0 +1,70 @@
+package wan
+
+import "testing"
+
+func TestLogicalClock(t *testing.T) {
+	c := NewLogicalClock()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %d, want 0", c.Now())
+	}
+	if got := c.Advance(3); got != 3 || c.Now() != 3 {
+		t.Fatalf("advance(3) = %d, now = %d", got, c.Now())
+	}
+	if got := c.Advance(1); got != 4 {
+		t.Fatalf("advance(1) = %d, want 4", got)
+	}
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	c := NewLogicalClock()
+	l := NewLease(c, 3)
+
+	// Boot grace: a standby that has never reached its leader does not
+	// instantly claim leadership.
+	if l.Expired() {
+		t.Fatal("fresh lease already expired")
+	}
+	if got := l.Remaining(); got != 3 {
+		t.Fatalf("fresh remaining = %d, want 3", got)
+	}
+
+	// Renewals push the expiry to now + duration and track the max gen.
+	c.Advance(2)
+	if exp := l.Renew(5); exp != 5 {
+		t.Fatalf("renew expiry = %d, want 5", exp)
+	}
+	if l.Expiry() != 5 {
+		t.Fatalf("expiry = %d, want 5", l.Expiry())
+	}
+	l.Renew(4) // lower gen never regresses the fence floor
+	if l.Gen() != 5 {
+		t.Fatalf("gen = %d, want 5 (max observed)", l.Gen())
+	}
+	if l.Renews() != 2 {
+		t.Fatalf("renews = %d, want 2", l.Renews())
+	}
+
+	// A full duration of silence expires the lease, exactly at the boundary.
+	c.Advance(2)
+	if l.Expired() {
+		t.Fatalf("expired at t=%d with expiry %d", c.Now(), l.Expiry())
+	}
+	c.Advance(1)
+	if !l.Expired() {
+		t.Fatalf("not expired at t=%d with expiry %d", c.Now(), l.Expiry())
+	}
+	if got := l.Remaining(); got != 0 {
+		t.Fatalf("remaining at expiry = %d, want 0", got)
+	}
+	c.Advance(2)
+	if got := l.Remaining(); got != -2 {
+		t.Fatalf("remaining past expiry = %d, want -2", got)
+	}
+
+	// Renewal resurrects an expired lease (the partition healed in time for
+	// no one to have claimed).
+	l.Renew(5)
+	if l.Expired() {
+		t.Fatal("renewed lease still expired")
+	}
+}

@@ -22,6 +22,12 @@ const (
 	MsgRemoveTunnel  MsgType = "remove_tunnel"
 	MsgUpdateRates   MsgType = "update_rates"
 	MsgPing          MsgType = "ping"
+	// MsgReplRecord carries one CRC-framed journal record from a leader to a
+	// cross-site standby (Request.Frame); MsgReplSnapshot carries a full-state
+	// snapshot frame for re-sync. Both are answered with Response.Ack (the
+	// standby's contiguous applied prefix) and possibly Response.Resync.
+	MsgReplRecord   MsgType = "repl_record"
+	MsgReplSnapshot MsgType = "repl_snapshot"
 )
 
 // Request is a controller -> switch message. Gen and Seq implement the
@@ -29,6 +35,12 @@ const (
 // (persist.Store.Generation), Seq a per-peer monotone sequence. Both are
 // zero — and absent from the wire, keeping the encoding byte-identical to
 // the unfenced protocol — when the controller runs without a state store.
+// Leader names the sending controller incarnation (site id); it breaks
+// ties between two claimants that fenced to the same generation from
+// different sites, where no shared lock can arbitrate. Frame is a
+// replication frame (repl messages only). All three extension fields are
+// omitted from the wire when unset, keeping the legacy encoding
+// byte-identical.
 type Request struct {
 	Type     MsgType            `json:"type"`
 	TunnelID int                `json:"tunnel_id,omitempty"`
@@ -36,12 +48,18 @@ type Request struct {
 	Rates    map[string]float64 `json:"rates,omitempty"`
 	Gen      uint64             `json:"gen,omitempty"`
 	Seq      uint64             `json:"seq,omitempty"`
+	Leader   string             `json:"leader,omitempty"`
+	Frame    []byte             `json:"frame,omitempty"`
 }
 
 // Response is a switch -> controller message. Stale marks a fence
 // rejection: the request carried a generation older than one the agent has
 // already seen, i.e. it came from a dead controller incarnation; Gen then
 // reports the generation the agent is fenced to.
+// Ack and Resync answer replication messages: Ack is the standby's
+// contiguous applied sequence prefix, and Resync asks the shipper to fall
+// back to a snapshot re-sync (the standby detected a gap or a corrupt
+// frame). Both are omitted from the wire when unset.
 type Response struct {
 	OK       bool    `json:"ok"`
 	Err      string  `json:"err,omitempty"`
@@ -49,6 +67,8 @@ type Response struct {
 	TunnelID int     `json:"tunnel_id,omitempty"`
 	Stale    bool    `json:"stale,omitempty"`
 	Gen      uint64  `json:"gen,omitempty"`
+	Ack      uint64  `json:"ack,omitempty"`
+	Resync   bool    `json:"resync,omitempty"`
 }
 
 // conn wraps a TCP connection with JSON framing (one JSON value per line,

@@ -90,6 +90,20 @@ type Recovery struct {
 // subsequent RPCs with the store's generation. With no recoverable state
 // the controller starts cold but still fenced. Call before the first RPC.
 func (c *Controller) OpenState(dir string) (*Recovery, error) {
+	return c.openState(dir, 0)
+}
+
+// OpenStateFenced is OpenState with a generation floor: the claimed
+// generation is at least minGen even if dir's own counter is behind. This
+// is the cross-site promotion step — a standby opening its *own* replica
+// directory cannot inherit the zombie leader's counter through a shared
+// flock, so it floors its generation above the highest leader generation
+// its lease ever observed, and the agents' fence does the rest.
+func (c *Controller) OpenStateFenced(dir string, minGen uint64) (*Recovery, error) {
+	return c.openState(dir, minGen)
+}
+
+func (c *Controller) openState(dir string, minGen uint64) (*Recovery, error) {
 	start := time.Now()
 	c.mu.Lock()
 	if c.store != nil {
@@ -98,8 +112,9 @@ func (c *Controller) OpenState(dir string) (*Recovery, error) {
 	}
 	c.mu.Unlock()
 	st, err := persist.Open(dir, persist.Options{
-		CompactEvery: c.StateCompactEvery,
-		Metrics:      c.Metrics,
+		CompactEvery:  c.StateCompactEvery,
+		Metrics:       c.Metrics,
+		MinGeneration: minGen,
 	})
 	if err != nil {
 		return nil, err

@@ -337,6 +337,13 @@ func (tb *Testbed) RunScenarioStream(seed uint64, shards, ratePerTick int) (*Pip
 // adaptation push fails (agents are never left rate-less).
 func (tb *Testbed) reactToDegradation(ev telemetry.Event) (*PipelineTiming, error) {
 	var timing PipelineTiming
+	if tb.TEPeriod > 0 {
+		// The TE period bounds the whole reaction, retries included: an RPC
+		// that would still be backing off when the next epoch is due gives
+		// up instead of eating into it (see Controller.BeginRound).
+		tb.Ctl.BeginRound(tb.TEPeriod)
+		defer tb.Ctl.BeginRound(0)
+	}
 	// Model inference ("only takes several milliseconds", §5).
 	t0 := time.Now()
 	tb.Ctl.Log.Addf("stage inference")
